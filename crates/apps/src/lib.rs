@@ -1,0 +1,35 @@
+//! Applications layered on Byzantine counting.
+//!
+//! Section 1.1 of the paper motivates Byzantine counting as the missing
+//! *preprocessing step* for protocols that assume knowledge of `log n`.
+//! Its worked example is the almost-everywhere Byzantine agreement
+//! protocol of Augustine–Pandurangan–Robinson (PODC 2013, cited as \[3\]),
+//! which needs a constant-factor upper bound on `log n` for two things:
+//!
+//! 1. **Random-walk sampling** — walks of `Θ(log n)` steps (the mixing
+//!    time of a bounded-degree expander) produce near-uniform node
+//!    samples ([`sampling`]).
+//! 2. **Majority dynamics** — each node repeatedly resamples two random
+//!    values and adopts the majority of three; `Θ(log n)` iterations
+//!    converge to almost-everywhere agreement ([`majority`]).
+//!
+//! [`agreement`] implements the full protocol, parameterised by a per-node
+//! `log n` estimate, and [`agreement::counting_then_agreement`] wires the
+//! CONGEST counting protocol of `bcount-core` in front of it — removing
+//! the known-`n` assumption exactly as the paper describes. Experiment
+//! E10 compares the pipeline against an oracle that hands every node the
+//! true `ln n`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod agreement;
+pub mod majority;
+pub mod sampling;
+
+pub use agreement::{
+    counting_then_agreement, AgreementOutcome, AgreementParams, AgreementProtocol, BiasAdversary,
+    PipelineReport,
+};
+pub use majority::majority_of_three;
+pub use sampling::{UniformSampler, WalkMsg};

@@ -1,0 +1,44 @@
+//! The majority-of-three update rule.
+//!
+//! "In one iteration, each node samples two random nodes and updates its
+//! value to the majority value among the three values: its own value and
+//! the two other values" (Section 1.1 of the paper, describing \[3\]).
+
+/// Majority of a node's own value and up to two samples.
+///
+/// With fewer than two samples the node keeps its own value (a
+/// conservative choice for iterations in which the random walks delivered
+/// too few tokens — possible under Byzantine token-dropping).
+pub fn majority_of_three(own: bool, samples: &[bool]) -> bool {
+    if samples.len() < 2 {
+        return own;
+    }
+    let votes = usize::from(own) + usize::from(samples[0]) + usize::from(samples[1]);
+    votes >= 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_rules() {
+        assert!(majority_of_three(true, &[true, false]));
+        assert!(majority_of_three(false, &[true, true]));
+        assert!(!majority_of_three(false, &[true, false]));
+        assert!(!majority_of_three(true, &[false, false]));
+    }
+
+    #[test]
+    fn keeps_own_value_when_starved() {
+        assert!(majority_of_three(true, &[]));
+        assert!(majority_of_three(true, &[false]));
+        assert!(!majority_of_three(false, &[true]));
+    }
+
+    #[test]
+    fn extra_samples_are_ignored() {
+        // Only the first two samples vote (the protocol requests two).
+        assert!(!majority_of_three(false, &[false, true, true, true]));
+    }
+}

@@ -1,0 +1,89 @@
+//! Random-walk token sampling.
+//!
+//! On a bounded-degree expander, a random walk of `Θ(log n)` steps mixes:
+//! its endpoint is a near-uniform node sample. The agreement protocol
+//! pushes *values* along such walks — every node launches the same number
+//! of tokens, so the origin of a token collected after mixing is a
+//! near-uniform node, and the token's payload is that node's value.
+//!
+//! Knowing how many steps suffice is exactly the `Θ(log n)` knowledge the
+//! counting protocols provide: "nodes need to know an upper bound on the
+//! mixing time to ensure that only sufficiently 'mixed' random walks are
+//! used for sampling" (Section 1.1).
+
+use bcount_sim::{MessageSize, Pid};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A value-carrying random-walk token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalkMsg {
+    /// Remaining steps; a token arriving with `ttl == 0` is collected as
+    /// a sample, otherwise it is forwarded with `ttl − 1`.
+    pub ttl: u32,
+    /// The originating node's value when the token was launched.
+    pub value: bool,
+}
+
+impl MessageSize for WalkMsg {
+    fn size_bits(&self, _id_bits: u32) -> u64 {
+        1 + 32 + 1
+    }
+}
+
+/// Uniform neighbour selection for walk forwarding (degree-proportional,
+/// which is stationary-uniform on regular graphs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UniformSampler;
+
+impl UniformSampler {
+    /// Picks the next hop among `neighbors` (with multiplicity, so
+    /// multi-edges get proportional probability).
+    ///
+    /// Returns `None` for isolated nodes.
+    pub fn next_hop<R: Rng + ?Sized>(&self, neighbors: &[Pid], rng: &mut R) -> Option<Pid> {
+        neighbors.choose(rng).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn next_hop_is_roughly_uniform() {
+        let sampler = UniformSampler;
+        let neighbors = [Pid(1), Pid(2), Pid(3), Pid(4)];
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            let hop = sampler.next_hop(&neighbors, &mut rng).unwrap();
+            counts[(hop.0 - 1) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn multiplicity_biases_proportionally() {
+        let sampler = UniformSampler;
+        // Double edge to Pid(1).
+        let neighbors = [Pid(1), Pid(1), Pid(2)];
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let ones = (0..3000)
+            .filter(|_| sampler.next_hop(&neighbors, &mut rng) == Some(Pid(1)))
+            .count();
+        assert!((1800..2200).contains(&ones), "{ones} / 3000");
+    }
+
+    #[test]
+    fn isolated_nodes_have_no_hop() {
+        let sampler = UniformSampler;
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        assert_eq!(sampler.next_hop(&[], &mut rng), None);
+    }
+}

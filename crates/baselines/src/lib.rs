@@ -1,0 +1,42 @@
+//! Non-Byzantine-resilient size-estimation baselines.
+//!
+//! Section 1.2 of the paper surveys the classical approaches to network
+//! size estimation and explains why each collapses against even a single
+//! Byzantine node. This crate implements them as runnable
+//! [`bcount_sim::Protocol`]s, together with the one-node attacks that
+//! break them, so the experiments (E9) can quantify the contrast with the
+//! Byzantine-resilient algorithms in `bcount-core`:
+//!
+//! * [`geometric::GeometricMax`] — flood the maximum of per-node geometric
+//!   samples; `max ≈ log₂ n` whp. A Byzantine node fakes an arbitrarily
+//!   large sample and inflates everyone's estimate without bound.
+//! * [`support::SupportEstimation`] — flood coordinate-wise minima of
+//!   per-node exponential samples; `(k−1)/Σ minᵢ ≈ n`. A Byzantine node
+//!   fakes zeros and drives the estimate to infinity.
+//! * [`birthday::BirthdayCounting`] — the birthday-paradox estimator from
+//!   random-walk samples ("one can also use 'birthday paradox' ideas …
+//!   it fails too in the Byzantine case"): fabricated samples manufacture
+//!   or suppress collisions, driving the estimate to 0 or ∞.
+//! * [`convergecast::Convergecast`] — exact counting over a BFS spanning
+//!   tree rooted at an (oracle-designated) leader. A single Byzantine node
+//!   lies about its subtree count by any amount — and leader election
+//!   itself is unsolved without knowing `n`.
+//! * [`flood_diameter::FloodDiameter`] — estimate `diam(G) = Θ(log n)` by
+//!   flooding a token from an (oracle-designated) leader and reading
+//!   arrival times. Needs the same unobtainable leader, and Byzantine
+//!   nodes on cuts distort arrival times.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod birthday;
+pub mod convergecast;
+pub mod flood_diameter;
+pub mod geometric;
+pub mod support;
+
+pub use birthday::{BirthdayCounting, CollisionFakerAdversary};
+pub use convergecast::{Convergecast, CountLiarAdversary};
+pub use flood_diameter::FloodDiameter;
+pub use geometric::{GeometricMax, MaxFakerAdversary};
+pub use support::{SupportEstimation, ZeroFakerAdversary};

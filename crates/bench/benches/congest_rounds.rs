@@ -1,0 +1,40 @@
+//! E3/E4 timing: full executions of the randomized CONGEST algorithm
+//! (Theorem 2), benign and under beacon spam.
+
+use bcount_bench::runners::{network, run_congest, spread_byzantine, theorem2_budget};
+use bcount_core::adversary::BeaconSpamAdversary;
+use bcount_core::congest::CongestParams;
+use bcount_sim::NullAdversary;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_congest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("congest_counting");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    let params = CongestParams::default();
+    for &n in &[128usize, 256, 512] {
+        let g = network(n, 8, n as u64);
+        group.bench_with_input(BenchmarkId::new("benign", n), &n, |b, _| {
+            b.iter(|| run_congest(&g, &[], params, NullAdversary, 5, 20_000));
+        });
+        let byz = spread_byzantine(n, theorem2_budget(n, 0.05));
+        group.bench_with_input(BenchmarkId::new("beacon_spam", n), &n, |b, _| {
+            b.iter(|| {
+                run_congest(
+                    &g,
+                    &byz,
+                    params,
+                    BeaconSpamAdversary::new(params),
+                    5,
+                    4_000,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_congest);
+criterion_main!(benches);

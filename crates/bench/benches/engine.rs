@@ -1,0 +1,68 @@
+//! Simulator round-throughput: the substrate cost underneath every
+//! experiment (messages delivered per second through the engine).
+
+use bcount_bench::runners::network;
+use bcount_sim::{
+    MessageSize, NodeContext, NullAdversary, Protocol, SimConfig, Simulation, StopWhen,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// A protocol that broadcasts a counter every round, forever — pure
+/// engine load.
+struct Chatter(u64);
+
+#[derive(Clone, Copy)]
+struct Counter(#[allow(dead_code)] u64);
+
+impl MessageSize for Counter {
+    fn size_bits(&self, _id_bits: u32) -> u64 {
+        64
+    }
+}
+
+impl Protocol for Chatter {
+    type Message = Counter;
+    type Output = ();
+    fn on_round(&mut self, ctx: &mut NodeContext<'_, Counter>) {
+        self.0 += 1;
+        ctx.broadcast(Counter(self.0));
+    }
+    fn output(&self) -> Option<()> {
+        None
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_rounds");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for &n in &[256usize, 1024, 4096] {
+        let g = network(n, 8, n as u64);
+        group.bench_with_input(
+            BenchmarkId::new("50_rounds_full_broadcast", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let mut sim = Simulation::new(
+                        &g,
+                        &[],
+                        |_, _| Chatter(0),
+                        NullAdversary,
+                        SimConfig {
+                            max_rounds: 50,
+                            stop_when: StopWhen::MaxRoundsOnly,
+                            ..SimConfig::default()
+                        },
+                    );
+                    sim.run()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Generator and structural-analysis throughput (substrates of every
+//! experiment; E7's tree-likeness census cost lives here too).
+
+use bcount_graph::analysis::treelike::{tree_like_count, tree_like_radius};
+use bcount_graph::gen::{configuration_model, hnd, watts_strogatz};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_gen");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for &n in &[1_000usize, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("hnd_d8", n), &n, |b, &n| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            b.iter(|| hnd(n, 8, &mut rng).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("configuration_d8", n), &n, |b, &n| {
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            b.iter(|| configuration_model(n, 8, &mut rng).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("watts_strogatz_k4", n), &n, |b, &n| {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            b.iter(|| watts_strogatz(n, 4, 0.1, &mut rng).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_treelike(c: &mut Criterion) {
+    let mut group = c.benchmark_group("treelike_census");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for &n in &[4_096usize, 16_384] {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let g = hnd(n, 8, &mut rng).unwrap();
+        let r = tree_like_radius(n, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| tree_like_count(&g, r));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_treelike);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E1/E2 timing: full executions of the deterministic LOCAL algorithm
+//! (Theorem 1), benign and under the fake-expander attack.
+
+use bcount_bench::runners::{network, run_local, spread_byzantine, theorem1_budget};
+use bcount_core::adversary::FakeExpanderAdversary;
+use bcount_core::local::LocalConfig;
+use bcount_sim::NullAdversary;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_local(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_counting");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for &n in &[64usize, 128, 256] {
+        let g = network(n, 8, n as u64);
+        let cfg = LocalConfig {
+            max_degree: 10,
+            ..LocalConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("benign", n), &n, |b, _| {
+            b.iter(|| run_local(&g, &[], cfg, NullAdversary, 3, 200));
+        });
+        let byz = spread_byzantine(n, theorem1_budget(n, 0.7));
+        group.bench_with_input(BenchmarkId::new("fake_expander", n), &n, |b, _| {
+            b.iter(|| {
+                run_local(
+                    &g,
+                    &byz,
+                    cfg,
+                    FakeExpanderAdversary::new(2, 8, 2, 7),
+                    3,
+                    200,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_local);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! CLI entry point for the experiment suite.
+//!
+//! ```text
+//! cargo run --release -p bcount-bench --bin experiments -- all
+//! cargo run --release -p bcount-bench --bin experiments -- e3 e11
+//! cargo run --release -p bcount-bench --bin experiments -- all --quick
+//! ```
+
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let names: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let names = if names.is_empty() { vec!["all"] } else { names };
+    let started = Instant::now();
+    for name in names {
+        let t0 = Instant::now();
+        let tables = bcount_bench::experiments::run(name, quick);
+        if tables.is_empty() {
+            eprintln!("unknown experiment '{name}' (use e1..e14 or all)");
+            std::process::exit(2);
+        }
+        for table in tables {
+            println!("{table}");
+        }
+        eprintln!("[{name}: {:.1}s]", t0.elapsed().as_secs_f64());
+    }
+    eprintln!("[total: {:.1}s]", started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,91 @@
+//! Small statistics helpers for the experiment tables.
+
+/// Mean of a sample (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Median of a sample (0 for empty input).
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// The `p`-th percentile (nearest-rank; 0 for empty input).
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]` or a sample is NaN.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank]
+}
+
+/// Least-squares slope of `log(y)` against `log(x)` — the fitted exponent
+/// `b` of `y ≈ a·x^b`. Pairs with non-positive coordinates are skipped;
+/// returns 0 if fewer than two usable points remain.
+pub fn fitted_exponent(points: &[(f64, f64)]) -> f64 {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    if logs.len() < 2 {
+        return 0.0;
+    }
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|(x, _)| x).sum();
+    let sy: f64 = logs.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = logs.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = logs.iter().map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        0.0
+    } else {
+        (n * sxy - sx * sy) / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_median() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 100.0);
+        assert!((percentile(&xs, 95.0) - 95.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn exponent_fit_recovers_powers() {
+        let pts: Vec<(f64, f64)> = (1..=20)
+            .map(|k| {
+                let x = f64::from(k) * 100.0;
+                (x, 3.0 * x.powf(0.8))
+            })
+            .collect();
+        let b = fitted_exponent(&pts);
+        assert!((b - 0.8).abs() < 1e-9, "fitted {b}");
+        assert_eq!(fitted_exponent(&[]), 0.0);
+        assert_eq!(fitted_exponent(&[(1.0, 1.0)]), 0.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Worst-case Byzantine strategies for the counting protocols.
+//!
+//! The paper's adversary is adaptive and omniscient; these are the
+//! concrete strategies its proofs (and our experiments) reason about:
+//!
+//! * [`local_attacks::FakeExpanderAdversary`] — Remark 1's attack on
+//!   Algorithm 1: simulate a large phantom expander "behind" the Byzantine
+//!   nodes, consistent with everything the honest network can verify, to
+//!   inflate apparent network size. Detected by the expansion check (the
+//!   phantom region hangs off a sparse cut); undetectable for eclipsed
+//!   nodes.
+//! * [`local_attacks::EdgeInjectorAdversary`] — sends *mutually
+//!   inconsistent* topology claims to different neighbours, triggering
+//!   early decisions nearby (a nuisance attack the `inconsistent`
+//!   predicate neutralizes).
+//! * [`congest_attacks::BeaconSpamAdversary`] — Algorithm 2's headline
+//!   threat: fabricate fresh beacon messages every iteration to fake
+//!   network liveness and inflate estimates; the blacklisting mechanism
+//!   defeats it (Lemma 11).
+//! * [`congest_attacks::PathTamperAdversary`] — forward real beacons with
+//!   rewritten path prefixes, polluting blacklists with honest IDs while
+//!   hiding the Byzantine origin.
+//! * [`congest_attacks::OscillatingSpamAdversary`] — spam only every
+//!   other phase, probing whether the per-phase blacklist reset (Line 2)
+//!   is exploitable (it is not: Lemma 11's pigeonhole is per phase).
+//! * [`phantom::phantom_copies`] — the graph construction from the
+//!   impossibility proof (Theorem 3): `t` copies of a base network glued
+//!   at a single Byzantine node. With the Byzantine node silent, honest
+//!   transcripts are identical to the single-copy network, so no
+//!   algorithm can tell `n` from `t·n` without expansion.
+//!
+//! Muteness/crash is [`bcount_sim::NullAdversary`] — silence *is* a
+//! Byzantine behaviour, and for Algorithm 1 it triggers the mute-cascade
+//! decisions of Lemma 4.
+
+pub mod congest_attacks;
+pub mod local_attacks;
+pub mod phantom;
+
+pub use congest_attacks::{BeaconSpamAdversary, OscillatingSpamAdversary, PathTamperAdversary};
+pub use local_attacks::{EdgeInjectorAdversary, FakeExpanderAdversary};
+pub use phantom::phantom_copies;

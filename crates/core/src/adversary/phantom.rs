@@ -1,0 +1,103 @@
+//! The phantom-copies construction of the impossibility proof (Theorem 3).
+//!
+//! Given a base network `C` and a designated cut node `b`, the adversary
+//! of Theorem 3 builds `H`: `t` copies of `C` all sharing the single node
+//! `b` (whose degree becomes `t·deg(b)`). If `b` behaves toward each copy
+//! exactly as it would in a standalone `C` — and staying silent is one
+//! such behaviour — the honest nodes of each copy observe transcripts
+//! identical to a standalone execution, so they cannot distinguish network
+//! size `n` from `t·(n−1)+1`. Without an expansion bound, `b`'s cut
+//! position is legal, and any counting algorithm fails on one of the two
+//! networks.
+
+use bcount_graph::{Graph, GraphBuilder, NodeId};
+
+/// Builds the Theorem 3 graph: `t` copies of `base` glued at node `b`.
+///
+/// Node 0 of the result is the shared node `b`; copy `k` (0-based)
+/// occupies nodes `1 + k·(n−1) .. 1 + (k+1)·(n−1)` in the order of the
+/// base graph's non-`b` nodes. Parallel edges at `b` are preserved.
+///
+/// Returns the glued graph; the caller marks node 0 Byzantine.
+///
+/// # Panics
+///
+/// Panics if `t == 0` or `b` is out of range.
+pub fn phantom_copies(base: &Graph, b: NodeId, t: usize) -> Graph {
+    assert!(t >= 1, "need at least one copy");
+    assert!(b.index() < base.len(), "cut node out of range");
+    let n = base.len();
+    // Map base node -> index within the non-b ordering.
+    let mut rank = vec![0usize; n];
+    let mut next = 0usize;
+    for u in base.nodes() {
+        if u != b {
+            rank[u.index()] = next;
+            next += 1;
+        }
+    }
+    let copy_size = n - 1;
+    let mut builder = GraphBuilder::new(1 + t * copy_size);
+    let map = |u: NodeId, copy: usize| -> NodeId {
+        if u == b {
+            NodeId(0)
+        } else {
+            NodeId((1 + copy * copy_size + rank[u.index()]) as u32)
+        }
+    };
+    for copy in 0..t {
+        for (u, v) in base.edges() {
+            builder.add_edge(map(u, copy), map(v, copy));
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcount_graph::analysis::components::connected_components;
+    use bcount_graph::gen::cycle;
+
+    #[test]
+    fn copies_share_only_the_cut_node() {
+        let base = cycle(6).unwrap();
+        let g = phantom_copies(&base, NodeId(2), 3);
+        assert_eq!(g.len(), 1 + 3 * 5);
+        // b has t * deg(b) edges.
+        assert_eq!(g.degree(NodeId(0)), 3 * 2);
+        // Everything is connected through b...
+        assert_eq!(connected_components(&g).component_count(), 1);
+        // ...and removing b disconnects the copies.
+        let keep: Vec<NodeId> = g.nodes().filter(|&u| u != NodeId(0)).collect();
+        let (without_b, _) = g.induced_subgraph(&keep);
+        assert_eq!(connected_components(&without_b).component_count(), 3);
+    }
+
+    #[test]
+    fn each_copy_is_isomorphic_to_base_minus_nothing() {
+        let base = cycle(5).unwrap();
+        let g = phantom_copies(&base, NodeId(0), 2);
+        // Each non-b node keeps its base degree.
+        for u in 1..g.len() {
+            assert_eq!(g.degree(NodeId(u as u32)), 2);
+        }
+        assert_eq!(g.edge_count(), 2 * base.edge_count());
+    }
+
+    #[test]
+    fn single_copy_is_the_base_graph() {
+        let base = cycle(7).unwrap();
+        let g = phantom_copies(&base, NodeId(3), 1);
+        assert_eq!(g.len(), base.len());
+        assert_eq!(g.edge_count(), base.edge_count());
+        assert!(g.is_regular(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one copy")]
+    fn zero_copies_rejected() {
+        let base = cycle(5).unwrap();
+        let _ = phantom_copies(&base, NodeId(0), 0);
+    }
+}

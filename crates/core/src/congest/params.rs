@@ -1,0 +1,213 @@
+//! Parameter derivation for Algorithm 2.
+//!
+//! The analysis (Section 5.1) fixes the relationships
+//!
+//! * `γ ⩾ 1/2 − δ + η` — the Byzantine bound exponent (`B(n) ⩽ n^{1−γ}`),
+//!   Equation (2);
+//! * `ϵ = 1 − (1−δ)γ / ln d` — the blacklist-suffix constant, Equation
+//!   (3), chosen so that `d^{(1−ϵ)i} = e^{(1−δ)γi}`;
+//! * phase `i` runs `⌊e^{(1−γ)i}⌋ + 1` iterations (more than `n^{1−γ}`
+//!   at `i = ln n`, hence more than the number of Byzantine nodes);
+//! * a node becomes active with probability `min(1, c₁·i/dⁱ)` — in
+//!   expectation `Θ(i)` active nodes per radius-`i` ball;
+//! * the starting phase is `c ⩾ 2·ln 2 / ((2−δ)η)` (Line 1 of the
+//!   pseudocode).
+
+use serde::{Deserialize, Serialize};
+
+/// Tunable constants of Algorithm 2. `γ` is the only *global* knowledge
+/// the protocol assumes (the pseudocode: "Nodes do not have any other
+/// global knowledge apart from γ"); the rest are fixed constants of the
+/// analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CongestParams {
+    /// Byzantine-tolerance exponent: up to `n^{1−γ}` Byzantine nodes.
+    /// Maximum tolerance is approached as `γ → 1/2` (Theorem 2's
+    /// `B(n) = n^{1/2−ξ}`).
+    pub gamma: f64,
+    /// The analysis constant `δ ∈ (0, 1/2]` trading tolerance against the
+    /// blacklist radius (Equation 2).
+    pub delta: f64,
+    /// The slack constant `η > 0` of Equation (2); only the starting phase
+    /// depends on it.
+    pub eta: f64,
+    /// Activation-probability constant `c₁` ("sufficiently large").
+    pub c1: f64,
+    /// Explicit starting phase override; if `None`, uses the analysis
+    /// bound `max(2, ⌈2·ln2/((2−δ)η)⌉)`.
+    pub start_phase: Option<u32>,
+    /// Safety valve: a node whose phase counter reaches this value decides
+    /// unconditionally (prevents unbounded simulations under adversaries
+    /// that keep faking liveness; `u32::MAX` disables). Remark 1 of the
+    /// paper: nodes the adversary fully controls can be strung along
+    /// forever, so simulations need a horizon.
+    pub max_phase: u32,
+    /// Whether the blacklisting mechanism is active (disable only for the
+    /// E11 ablation; the paper's algorithm always blacklists).
+    pub blacklisting: bool,
+}
+
+impl Default for CongestParams {
+    fn default() -> Self {
+        CongestParams {
+            gamma: 0.55,
+            delta: 0.1,
+            eta: 0.05,
+            c1: 3.0,
+            start_phase: Some(2),
+            max_phase: 64,
+            blacklisting: true,
+        }
+    }
+}
+
+impl CongestParams {
+    /// The blacklist constant `ϵ` for a node of degree `d`, Equation (3):
+    /// `ϵ = 1 − (1−δ)γ/ln d`, so `(1−ϵ)·ln d = (1−δ)γ`.
+    ///
+    /// The paper assumes `d ⩾ 8`, which keeps `ϵ ∈ (0, 1)`; for smaller
+    /// degrees (where `(1−δ)γ` can exceed `ln d`) the value is clamped to
+    /// 0 so the trusted suffix never exceeds the whole path.
+    pub fn epsilon(&self, d: usize) -> f64 {
+        let ln_d = (d.max(2) as f64).ln();
+        (1.0 - (1.0 - self.delta) * self.gamma / ln_d).max(0.0)
+    }
+
+    /// Length of the trusted path suffix at phase `i`: `⌊(1−ϵ)·i⌋`,
+    /// floored at 1 so the immediate sender is always trusted.
+    pub fn trusted_suffix_len(&self, d: usize, i: u32) -> usize {
+        let len = ((1.0 - self.epsilon(d)) * f64::from(i)).floor() as usize;
+        len.max(1)
+    }
+
+    /// Number of iterations in phase `i`: `⌊e^{(1−γ)i}⌋ + 1`.
+    pub fn iterations_in_phase(&self, i: u32) -> u64 {
+        ((1.0 - self.gamma) * f64::from(i)).exp().floor() as u64 + 1
+    }
+
+    /// Rounds per iteration of phase `i`: `(i+2)` beacon rounds plus
+    /// `(i+3)` continue rounds `= 2i + 5`.
+    pub fn rounds_per_iteration(&self, i: u32) -> u64 {
+        2 * u64::from(i) + 5
+    }
+
+    /// Probability that a degree-`d` node becomes active in an iteration
+    /// of phase `i`: `min(1, c₁·i/dⁱ)`.
+    pub fn activation_probability(&self, d: usize, i: u32) -> f64 {
+        let di = (d.max(2) as f64).powi(i as i32);
+        (self.c1 * f64::from(i) / di).min(1.0)
+    }
+
+    /// The starting phase `c`.
+    pub fn first_phase(&self) -> u32 {
+        match self.start_phase {
+            Some(c) => c.max(1),
+            None => {
+                let c = 2.0 * std::f64::consts::LN_2 / ((2.0 - self.delta) * self.eta);
+                (c.ceil() as u32).max(2)
+            }
+        }
+    }
+
+    /// Validates the analysis constraints; returns a human-readable
+    /// violation if any.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0 < self.gamma && self.gamma < 1.0) {
+            return Err(format!("gamma must be in (0,1), got {}", self.gamma));
+        }
+        if !(0.0 < self.delta && self.delta <= 0.5) {
+            return Err(format!("delta must be in (0, 1/2], got {}", self.delta));
+        }
+        if self.eta <= 0.0 {
+            return Err(format!("eta must be positive, got {}", self.eta));
+        }
+        if self.gamma + 1e-12 < 0.5 - self.delta + self.eta {
+            return Err(format!(
+                "Equation (2) violated: gamma {} < 1/2 - delta {} + eta {}",
+                self.gamma, self.delta, self.eta
+            ));
+        }
+        if self.c1 <= 0.0 {
+            return Err(format!("c1 must be positive, got {}", self.c1));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_satisfy_equation_2() {
+        let p = CongestParams::default();
+        p.validate().unwrap();
+        // gamma = 0.55 >= 0.5 - 0.1 + 0.05 = 0.45.
+        assert!(p.gamma >= 0.5 - p.delta + p.eta);
+    }
+
+    #[test]
+    fn epsilon_matches_equation_3() {
+        let p = CongestParams::default();
+        let d = 8;
+        let eps = p.epsilon(d);
+        // (1-eps) * ln d == (1-delta) * gamma
+        let lhs = (1.0 - eps) * (d as f64).ln();
+        let rhs = (1.0 - p.delta) * p.gamma;
+        assert!((lhs - rhs).abs() < 1e-12);
+        assert!((0.0..1.0).contains(&eps));
+    }
+
+    #[test]
+    fn suffix_len_grows_linearly_with_phase() {
+        let p = CongestParams::default();
+        let d = 8;
+        let s5 = p.trusted_suffix_len(d, 5);
+        let s20 = p.trusted_suffix_len(d, 20);
+        assert!(s20 >= 3 * s5, "suffix must grow with i: {s5} -> {s20}");
+        assert!(s5 >= 1);
+    }
+
+    #[test]
+    fn iteration_counts_match_formula() {
+        let p = CongestParams::default();
+        // floor(e^{0.45 * 4}) + 1 = floor(6.0496) + 1 = 7.
+        assert_eq!(p.iterations_in_phase(4), 7);
+        assert_eq!(p.rounds_per_iteration(4), 13);
+    }
+
+    #[test]
+    fn activation_probability_clamps_and_decays() {
+        let p = CongestParams::default();
+        assert_eq!(p.activation_probability(2, 1), 1.0); // 3*1/2 > 1
+        let p5 = p.activation_probability(8, 5);
+        let p8 = p.activation_probability(8, 8);
+        assert!(p5 > p8, "activation must decay geometrically");
+        assert!(p8 < 1e-4);
+    }
+
+    #[test]
+    fn first_phase_derivation() {
+        let mut p = CongestParams::default();
+        assert_eq!(p.first_phase(), 2);
+        p.start_phase = None;
+        // 2 ln2 / (1.9 * 0.05) ≈ 14.59 → 15.
+        assert_eq!(p.first_phase(), 15);
+    }
+
+    #[test]
+    fn validate_rejects_bad_combinations() {
+        let mut p = CongestParams::default();
+        p.gamma = 0.3; // < 0.5 - 0.1 + 0.05
+        assert!(p.validate().is_err());
+        p = CongestParams::default();
+        p.delta = 0.9;
+        assert!(p.validate().is_err());
+        p = CongestParams::default();
+        p.c1 = 0.0;
+        assert!(p.validate().is_err());
+        p = CongestParams::default();
+        p.eta = -1.0;
+        assert!(p.validate().is_err());
+    }
+}

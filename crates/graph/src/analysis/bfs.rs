@@ -1,0 +1,125 @@
+//! Breadth-first search primitives: distances, balls, boundaries, diameter.
+//!
+//! The paper's notation `B_G(u, i)` (the inclusive `i`-hop ball around `u`)
+//! and `D(u, i)` (the exact-distance-`i` boundary) map to [`ball`] and
+//! [`boundary`].
+
+use std::collections::VecDeque;
+
+use crate::{Graph, NodeId};
+
+/// BFS distances from `src`; unreachable nodes are `None`.
+pub fn distances(g: &Graph, src: NodeId) -> Vec<Option<u32>> {
+    let mut dist = vec![None; g.len()];
+    let mut q = VecDeque::new();
+    dist[src.index()] = Some(0);
+    q.push_back(src);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u.index()].expect("queued nodes have distances");
+        for v in g.neighbors(u) {
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(du + 1);
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// The inclusive `r`-hop ball `B(u, r)`: all nodes within distance `r` of
+/// `u`, in BFS (distance-then-id) order.
+pub fn ball(g: &Graph, u: NodeId, r: u32) -> Vec<NodeId> {
+    let dist = distances(g, u);
+    let mut nodes: Vec<NodeId> = g
+        .nodes()
+        .filter(|v| matches!(dist[v.index()], Some(d) if d <= r))
+        .collect();
+    nodes.sort_by_key(|v| (dist[v.index()], v.0));
+    nodes
+}
+
+/// The exact-distance boundary `D(u, r)`: nodes at distance exactly `r`.
+pub fn boundary(g: &Graph, u: NodeId, r: u32) -> Vec<NodeId> {
+    let dist = distances(g, u);
+    g.nodes()
+        .filter(|v| dist[v.index()] == Some(r))
+        .collect()
+}
+
+/// Eccentricity of `u`: max distance to any reachable node, or `None` if
+/// the graph is disconnected from `u`'s component's perspective (i.e. some
+/// node is unreachable).
+pub fn eccentricity(g: &Graph, u: NodeId) -> Option<u32> {
+    let dist = distances(g, u);
+    let mut ecc = 0;
+    for d in dist {
+        ecc = ecc.max(d?);
+    }
+    Some(ecc)
+}
+
+/// Exact diameter via all-pairs BFS (`O(n·m)`), or `None` if disconnected
+/// or empty.
+pub fn diameter(g: &Graph) -> Option<u32> {
+    if g.is_empty() {
+        return None;
+    }
+    let mut diam = 0;
+    for u in g.nodes() {
+        diam = diam.max(eccentricity(g, u)?);
+    }
+    Some(diam)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{cycle, path};
+    use crate::GraphBuilder;
+
+    #[test]
+    fn distances_on_path() {
+        let g = path(4).unwrap();
+        let d = distances(&g, NodeId(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3)]);
+    }
+
+    #[test]
+    fn distances_mark_unreachable() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1));
+        let g = b.build();
+        let d = distances(&g, NodeId(0));
+        assert_eq!(d[2], None);
+        assert_eq!(eccentricity(&g, NodeId(0)), None);
+        assert_eq!(diameter(&g), None);
+    }
+
+    #[test]
+    fn ball_and_boundary() {
+        let g = cycle(8).unwrap();
+        let b1 = ball(&g, NodeId(0), 1);
+        assert_eq!(b1, vec![NodeId(0), NodeId(1), NodeId(7)]);
+        let d2 = boundary(&g, NodeId(0), 2);
+        assert_eq!(d2, vec![NodeId(2), NodeId(6)]);
+        assert_eq!(ball(&g, NodeId(0), 0), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn diameter_of_known_graphs() {
+        assert_eq!(diameter(&cycle(9).unwrap()), Some(4));
+        assert_eq!(diameter(&cycle(10).unwrap()), Some(5));
+        assert_eq!(diameter(&path(7).unwrap()), Some(6));
+        assert_eq!(diameter(&crate::gen::complete(5).unwrap()), Some(1));
+    }
+
+    #[test]
+    fn ball_orders_by_distance() {
+        let g = path(5).unwrap();
+        let b = ball(&g, NodeId(2), 2);
+        assert_eq!(
+            b,
+            vec![NodeId(2), NodeId(1), NodeId(3), NodeId(0), NodeId(4)]
+        );
+    }
+}

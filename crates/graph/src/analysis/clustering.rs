@@ -1,0 +1,99 @@
+//! Clustering coefficients.
+//!
+//! The prior Byzantine-counting work of Chatterjee et al. (\[14\] in the
+//! paper) required *small-world* networks: expanders with large clustering
+//! coefficient, because its fake-value detection inspects triangles among
+//! neighbours. The present paper removes that requirement; experiments use
+//! these routines to demonstrate that `H(n,d)` expanders have vanishing
+//! clustering (so \[14\]'s precondition genuinely fails there) while the
+//! new algorithms still succeed.
+
+use std::collections::HashSet;
+
+use crate::{Graph, NodeId};
+
+/// Local clustering coefficient of `u`: the fraction of pairs of distinct
+/// neighbours that are themselves adjacent. Nodes with fewer than two
+/// distinct neighbours have coefficient 0. Parallel edges and self-loops
+/// are ignored.
+pub fn local_clustering(g: &Graph, u: NodeId) -> f64 {
+    let nbrs: Vec<NodeId> = {
+        let set: HashSet<NodeId> = g.neighbors(u).filter(|&v| v != u).collect();
+        set.into_iter().collect()
+    };
+    let k = nbrs.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let mut links = 0usize;
+    for i in 0..k {
+        for j in i + 1..k {
+            if g.has_edge(nbrs[i], nbrs[j]) {
+                links += 1;
+            }
+        }
+    }
+    links as f64 / (k * (k - 1) / 2) as f64
+}
+
+/// Average of [`local_clustering`] over all nodes (0 for the empty graph).
+pub fn average_clustering(g: &Graph) -> f64 {
+    if g.is_empty() {
+        return 0.0;
+    }
+    g.nodes().map(|u| local_clustering(g, u)).sum::<f64>() / g.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{complete, cycle, hnd};
+    use crate::GraphBuilder;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn complete_graph_has_full_clustering() {
+        let g = complete(5).unwrap();
+        assert!((average_clustering(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycle_has_zero_clustering() {
+        let g = cycle(10).unwrap();
+        assert_eq!(average_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn triangle_with_pendant() {
+        let mut b = GraphBuilder::new(4);
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (0, 3)] {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        let g = b.build();
+        // Node 0 has neighbours {1,2,3}; one of three pairs linked.
+        assert!((local_clustering(&g, NodeId(0)) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(local_clustering(&g, NodeId(3)), 0.0);
+        assert!((local_clustering(&g, NodeId(1)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_regular_graphs_have_vanishing_clustering() {
+        let mut rng = ChaCha8Rng::seed_from_u64(14);
+        let g = hnd(1000, 8, &mut rng).unwrap();
+        let c = average_clustering(&g);
+        assert!(c < 0.05, "H(1000,8) clustering {c} should vanish");
+    }
+
+    #[test]
+    fn self_loops_and_multi_edges_ignored() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(0));
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(0), NodeId(2));
+        b.add_edge(NodeId(1), NodeId(2));
+        let g = b.build();
+        assert!((local_clustering(&g, NodeId(0)) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,111 @@
+//! Connected components.
+
+use std::collections::VecDeque;
+
+use crate::{Graph, NodeId};
+
+/// The connected-component structure of a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnectedComponents {
+    comp: Vec<u32>,
+    count: usize,
+}
+
+impl ConnectedComponents {
+    /// Number of connected components.
+    pub fn component_count(&self) -> usize {
+        self.count
+    }
+
+    /// Component index of `u` (components are numbered by discovery order).
+    pub fn component_of(&self, u: NodeId) -> u32 {
+        self.comp[u.index()]
+    }
+
+    /// Whether `u` and `v` are in the same component.
+    pub fn same_component(&self, u: NodeId, v: NodeId) -> bool {
+        self.comp[u.index()] == self.comp[v.index()]
+    }
+
+    /// Nodes of the largest component (ties broken by lowest component id).
+    pub fn largest_component(&self) -> Vec<NodeId> {
+        let mut sizes = vec![0usize; self.count];
+        for &c in &self.comp {
+            sizes[c as usize] += 1;
+        }
+        let best = sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &s)| (s, usize::MAX - i))
+            .map(|(i, _)| i as u32)
+            .unwrap_or(0);
+        self.comp
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c == best)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+}
+
+/// Computes connected components by repeated BFS.
+pub fn connected_components(g: &Graph) -> ConnectedComponents {
+    let mut comp = vec![u32::MAX; g.len()];
+    let mut count = 0u32;
+    for s in g.nodes() {
+        if comp[s.index()] != u32::MAX {
+            continue;
+        }
+        comp[s.index()] = count;
+        let mut q = VecDeque::from([s]);
+        while let Some(u) = q.pop_front() {
+            for v in g.neighbors(u) {
+                if comp[v.index()] == u32::MAX {
+                    comp[v.index()] = count;
+                    q.push_back(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    ConnectedComponents {
+        comp,
+        count: count as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn splits_components() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(2), NodeId(3));
+        let g = b.build();
+        let cc = connected_components(&g);
+        assert_eq!(cc.component_count(), 3);
+        assert!(cc.same_component(NodeId(0), NodeId(1)));
+        assert!(!cc.same_component(NodeId(1), NodeId(2)));
+        assert_eq!(cc.component_of(NodeId(4)), 2);
+    }
+
+    #[test]
+    fn largest_component_returns_biggest() {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(2));
+        b.add_edge(NodeId(3), NodeId(4));
+        let g = b.build();
+        let biggest = connected_components(&g).largest_component();
+        assert_eq!(biggest, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let g = crate::Graph::empty(0);
+        assert_eq!(connected_components(&g).component_count(), 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Vertex expansion (Definition 1 of the paper).
+//!
+//! The vertex expansion of `G = (V, E)` is
+//! `h(G) = min_{0 < |S| ⩽ n/2} |Out(S)| / |S|`, where `Out(S)` is the set
+//! of neighbours of `S` in `V \ S`. Computing `h(G)` exactly is NP-hard in
+//! general; [`vertex_expansion_exact`] enumerates all subsets and is
+//! therefore restricted to small graphs (it is used to validate the
+//! spectral sweep-cut approximation in [`crate::analysis::spectral`]).
+
+use std::collections::BTreeSet;
+
+use crate::{Graph, NodeId};
+
+/// Maximum node count for which [`vertex_expansion_exact`] will enumerate
+/// subsets (`2^24` sets is the ceiling we tolerate).
+pub const EXACT_EXPANSION_LIMIT: usize = 24;
+
+/// `Out(S)`: the nodes of `V \ S` adjacent to some node of `S`.
+pub fn out_neighbors(g: &Graph, set: &[NodeId]) -> BTreeSet<NodeId> {
+    let mut in_set = vec![false; g.len()];
+    for &u in set {
+        in_set[u.index()] = true;
+    }
+    let mut out = BTreeSet::new();
+    for &u in set {
+        for v in g.neighbors(u) {
+            if !in_set[v.index()] {
+                out.insert(v);
+            }
+        }
+    }
+    out
+}
+
+/// The vertex expansion `|Out(S)| / |S|` of a specific nonempty set.
+///
+/// # Panics
+///
+/// Panics if `set` is empty.
+pub fn set_vertex_expansion(g: &Graph, set: &[NodeId]) -> f64 {
+    assert!(!set.is_empty(), "expansion of the empty set is undefined");
+    let distinct: BTreeSet<NodeId> = set.iter().copied().collect();
+    out_neighbors(g, set).len() as f64 / distinct.len() as f64
+}
+
+/// Exact vertex expansion `h(G)` by subset enumeration.
+///
+/// Returns `None` when the graph has more than
+/// [`EXACT_EXPANSION_LIMIT`] nodes (enumeration would be intractable) or
+/// fewer than 2 nodes (no admissible subset exists).
+pub fn vertex_expansion_exact(g: &Graph) -> Option<f64> {
+    let n = g.len();
+    if n < 2 || n > EXACT_EXPANSION_LIMIT {
+        return None;
+    }
+    let half = n / 2;
+    let mut best = f64::INFINITY;
+    // Enumerate subsets via bitmask; skip empty and too-large sets.
+    for mask in 1u64..(1u64 << n) {
+        let size = mask.count_ones() as usize;
+        if size > half {
+            continue;
+        }
+        let set: Vec<NodeId> = (0..n)
+            .filter(|&i| mask >> i & 1 == 1)
+            .map(|i| NodeId(i as u32))
+            .collect();
+        let h = out_neighbors(g, &set).len() as f64 / size as f64;
+        if h < best {
+            best = h;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{complete, cycle, path};
+    use crate::GraphBuilder;
+
+    #[test]
+    fn out_neighbors_basic() {
+        let g = path(4).unwrap();
+        let out = out_neighbors(&g, &[NodeId(1)]);
+        assert_eq!(out, BTreeSet::from([NodeId(0), NodeId(2)]));
+        let out = out_neighbors(&g, &[NodeId(0), NodeId(1)]);
+        assert_eq!(out, BTreeSet::from([NodeId(2)]));
+    }
+
+    #[test]
+    fn set_expansion_values() {
+        let g = cycle(6).unwrap();
+        // A contiguous arc of 3 nodes has 2 out-neighbours.
+        let arc = [NodeId(0), NodeId(1), NodeId(2)];
+        assert!((set_vertex_expansion(&g, &arc) - 2.0 / 3.0).abs() < 1e-12);
+        // Duplicates in the slice do not change the value.
+        let dup = [NodeId(0), NodeId(1), NodeId(2), NodeId(2)];
+        assert!((set_vertex_expansion(&g, &dup) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty set")]
+    fn set_expansion_rejects_empty() {
+        let g = cycle(4).unwrap();
+        let _ = set_vertex_expansion(&g, &[]);
+    }
+
+    #[test]
+    fn exact_expansion_of_known_graphs() {
+        // Complete graph K_n: every S with |S| <= n/2 sees all other
+        // n - |S| nodes, minimized at |S| = n/2: h = (n/2)/(n/2) = 1 for
+        // even n.
+        let g = complete(6).unwrap();
+        assert!((vertex_expansion_exact(&g).unwrap() - 1.0).abs() < 1e-12);
+        // Cycle C_8: worst set is a contiguous arc of 4: h = 2/4.
+        let g = cycle(8).unwrap();
+        assert!((vertex_expansion_exact(&g).unwrap() - 0.5).abs() < 1e-12);
+        // Path P_6: worst set is an end-run of 3: h = 1/3.
+        let g = path(6).unwrap();
+        assert!((vertex_expansion_exact(&g).unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_expansion_detects_disconnection() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(2), NodeId(3));
+        let g = b.build();
+        assert_eq!(vertex_expansion_exact(&g), Some(0.0));
+    }
+
+    #[test]
+    fn exact_expansion_declines_large_graphs() {
+        let g = cycle(30).unwrap();
+        assert_eq!(vertex_expansion_exact(&g), None);
+        assert_eq!(vertex_expansion_exact(&crate::Graph::empty(1)), None);
+    }
+}

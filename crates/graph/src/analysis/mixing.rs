@@ -1,0 +1,171 @@
+//! Random-walk mixing times.
+//!
+//! The paper's application story (§1.1) hinges on mixing times: random
+//! walks on a bounded-degree expander mix in `Θ(log n)` steps, and
+//! protocols need an *upper bound* on that number — which is exactly what
+//! a `log n` estimate provides. This module measures mixing directly (by
+//! iterating the lazy walk and tracking total-variation distance from
+//! stationarity) and via the classical spectral bound
+//! `t_mix(ε) ⩽ ln(n/ε)/gap`, so experiments and tests can confirm both
+//! that `H(n,d)` walks mix in `O(log n)` steps and that a cycle needs
+//! `Θ(n²)`.
+
+use crate::{Graph, NodeId};
+
+/// Total-variation distance between a distribution and the walk's
+/// stationary distribution (degree-proportional; uniform on regular
+/// graphs).
+fn tv_from_stationary(g: &Graph, dist: &[f64]) -> f64 {
+    let total_degree = g.degree_sum() as f64;
+    let mut tv = 0.0;
+    for u in g.nodes() {
+        let pi = g.degree(u) as f64 / total_degree;
+        tv += (dist[u.index()] - pi).abs();
+    }
+    tv / 2.0
+}
+
+/// One step of the lazy random walk (stay with probability 1/2, otherwise
+/// move to a uniform incident edge).
+fn lazy_step(g: &Graph, dist: &[f64], next: &mut [f64]) {
+    for v in next.iter_mut() {
+        *v = 0.0;
+    }
+    for u in g.nodes() {
+        let du = g.degree(u);
+        let mass = dist[u.index()];
+        if mass == 0.0 {
+            continue;
+        }
+        next[u.index()] += 0.5 * mass;
+        if du > 0 {
+            let share = 0.5 * mass / du as f64;
+            for v in g.neighbors(u) {
+                next[v.index()] += share;
+            }
+        } else {
+            next[u.index()] += 0.5 * mass;
+        }
+    }
+}
+
+/// Number of lazy-walk steps from `start` until the distribution is
+/// within total-variation `eps` of stationarity, or `None` if `max_steps`
+/// is insufficient (e.g. a disconnected graph never mixes).
+///
+/// # Panics
+///
+/// Panics if `eps` is not in `(0, 1)` or the graph is empty.
+pub fn mixing_time_from(g: &Graph, start: NodeId, eps: f64, max_steps: u32) -> Option<u32> {
+    assert!(0.0 < eps && eps < 1.0, "eps must be in (0,1)");
+    assert!(!g.is_empty(), "mixing time of the empty graph is undefined");
+    let mut dist = vec![0.0; g.len()];
+    dist[start.index()] = 1.0;
+    let mut next = vec![0.0; g.len()];
+    for t in 0..=max_steps {
+        if tv_from_stationary(g, &dist) <= eps {
+            return Some(t);
+        }
+        lazy_step(g, &dist, &mut next);
+        std::mem::swap(&mut dist, &mut next);
+    }
+    None
+}
+
+/// Worst-case mixing time over a set of start nodes (all nodes for small
+/// graphs; a spread sample is standard for large ones).
+pub fn mixing_time(g: &Graph, starts: &[NodeId], eps: f64, max_steps: u32) -> Option<u32> {
+    let mut worst = 0u32;
+    for &s in starts {
+        worst = worst.max(mixing_time_from(g, s, eps, max_steps)?);
+    }
+    Some(worst)
+}
+
+/// The classical spectral upper bound `t_mix(ε) ⩽ ⌈ln(n/ε)/gap⌉` in terms
+/// of the lazy spectral gap (see [`crate::analysis::spectral::spectral_gap`]).
+/// Returns `None` if the gap is non-positive (disconnected).
+pub fn spectral_mixing_bound(n: usize, gap: f64, eps: f64) -> Option<u32> {
+    if gap <= 0.0 || n == 0 {
+        return None;
+    }
+    Some(((n as f64 / eps).ln() / gap).ceil() as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::spectral::spectral_gap;
+    use crate::gen::{complete, cycle, hnd};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn complete_graph_mixes_instantly() {
+        let g = complete(16).unwrap();
+        let t = mixing_time_from(&g, NodeId(0), 0.25, 100).unwrap();
+        assert!(t <= 3, "K_16 lazy walk mixing time {t}");
+    }
+
+    #[test]
+    fn expander_mixes_logarithmically() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = hnd(512, 8, &mut rng).unwrap();
+        let t = mixing_time_from(&g, NodeId(0), 0.25, 500).unwrap();
+        // ~ log n / gap; generous bound: 8 * ln(512) ≈ 50.
+        assert!(t <= 50, "H(512,8) mixing time {t}");
+        assert!(t >= 2);
+    }
+
+    #[test]
+    fn cycle_mixes_quadratically() {
+        // TV mixing of the lazy walk on C_n is Θ(n²): compare two sizes.
+        let t16 = mixing_time_from(&cycle(16).unwrap(), NodeId(0), 0.25, 100_000).unwrap();
+        let t32 = mixing_time_from(&cycle(32).unwrap(), NodeId(0), 0.25, 100_000).unwrap();
+        let ratio = f64::from(t32) / f64::from(t16);
+        assert!(
+            (3.0..=5.5).contains(&ratio),
+            "doubling the cycle should ~quadruple mixing: {t16} -> {t32}"
+        );
+    }
+
+    #[test]
+    fn spectral_bound_dominates_measurement() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let g = hnd(256, 8, &mut rng).unwrap();
+        let gap = spectral_gap(&g, 300);
+        let bound = spectral_mixing_bound(g.len(), gap, 0.25).unwrap();
+        let measured = mixing_time_from(&g, NodeId(7), 0.25, 10_000).unwrap();
+        assert!(
+            measured <= bound,
+            "measured {measured} exceeds spectral bound {bound}"
+        );
+    }
+
+    #[test]
+    fn disconnected_graphs_never_mix() {
+        let mut b = crate::GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(2), NodeId(3));
+        let g = b.build();
+        assert_eq!(mixing_time_from(&g, NodeId(0), 0.1, 1000), None);
+        assert_eq!(spectral_mixing_bound(4, 0.0, 0.1), None);
+    }
+
+    #[test]
+    fn worst_case_over_starts() {
+        let g = cycle(12).unwrap();
+        let all: Vec<NodeId> = g.nodes().collect();
+        let worst = mixing_time(&g, &all, 0.25, 10_000).unwrap();
+        let single = mixing_time_from(&g, NodeId(0), 0.25, 10_000).unwrap();
+        // Vertex-transitive graph: all starts equal.
+        assert_eq!(worst, single);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be in")]
+    fn rejects_bad_eps() {
+        let g = cycle(4).unwrap();
+        let _ = mixing_time_from(&g, NodeId(0), 0.0, 10);
+    }
+}

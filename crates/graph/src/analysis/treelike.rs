@@ -1,0 +1,199 @@
+//! The "locally tree-like" property (Definition 3 of the paper).
+//!
+//! In an `H(n,d)` random graph, for most nodes `w` the subgraph induced by
+//! the ball `B(w, r)` with `r = log n / (10 log d)` is a `(d-1)`-ary tree:
+//! every interior node has exactly one neighbour closer to `w` and `d-1`
+//! neighbours farther away. Lemma 2 states that, whp, at least
+//! `n − O(n^{0.8})` nodes are locally tree-like — Experiment E7 measures
+//! this, and Algorithm 2's analysis leans on the property to show the
+//! blacklisting rule leaves enough non-blacklisted beacon sources.
+
+use std::collections::VecDeque;
+
+use crate::{Graph, NodeId};
+
+/// The paper's tree-likeness radius `r = ⌊ln n / (10 ln d)⌋`, with a floor
+/// of 1 so the test is non-vacuous on small graphs.
+pub fn tree_like_radius(n: usize, d: usize) -> u32 {
+    if n < 2 || d < 2 {
+        return 1;
+    }
+    let r = ((n as f64).ln() / (10.0 * (d as f64).ln())).floor() as u32;
+    r.max(1)
+}
+
+/// Whether the ball `B(w, r)` induces a `(d-1)`-ary tree rooted at `w`
+/// (Definition 3), where `d = deg(w)`.
+///
+/// Concretely: BFS from `w` to depth `r` must find
+/// * the root with `d` distinct children,
+/// * every node at depth `1 ⩽ j < r` with exactly one adjacency slot
+///   pointing to depth `j−1` and `d−1` distinct children at depth `j+1`,
+/// * no parallel edges, self-loops, or cross/back edges anywhere in the
+///   ball (including between depth-`r` leaves — the induced subgraph must
+///   be a tree, per the parenthetical of Definition 3).
+pub fn is_locally_tree_like(g: &Graph, w: NodeId, r: u32) -> bool {
+    if r == 0 {
+        return true;
+    }
+    let mut depth: Vec<Option<u32>> = vec![None; g.len()];
+    depth[w.index()] = Some(0);
+    let mut q = VecDeque::from([w]);
+    let mut ball_nodes = vec![w];
+    while let Some(u) = q.pop_front() {
+        let du = depth[u.index()].expect("queued");
+        if du == r {
+            continue;
+        }
+        for v in g.neighbors(u) {
+            if depth[v.index()].is_none() {
+                depth[v.index()] = Some(du + 1);
+                q.push_back(v);
+                ball_nodes.push(v);
+            }
+        }
+    }
+    // Count induced adjacency slots and verify per-node arity.
+    let mut induced_slots = 0usize;
+    for &u in &ball_nodes {
+        let du = depth[u.index()].expect("in ball");
+        let mut up = 0usize; // slots toward depth du - 1
+        let mut same = 0usize; // slots within depth du (incl. self-loops)
+        let mut down = 0usize; // slots toward depth du + 1
+        let mut distinct_down = std::collections::BTreeSet::new();
+        for v in g.neighbors(u) {
+            match depth[v.index()] {
+                None => continue, // outside the ball
+                Some(dv) => {
+                    induced_slots += 1;
+                    if dv + 1 == du {
+                        up += 1;
+                    } else if dv == du {
+                        same += 1;
+                    } else {
+                        down += 1;
+                        distinct_down.insert(v);
+                    }
+                }
+            }
+        }
+        if same > 0 {
+            return false; // cross edge, self-loop, or parallel same-level edge
+        }
+        let d_root = g.degree(w);
+        if du == 0 {
+            if up != 0 || down != d_root || distinct_down.len() != d_root {
+                return false;
+            }
+        } else if du < r {
+            if up != 1 || down != g.degree(u) - 1 || distinct_down.len() != down {
+                return false;
+            }
+        } else {
+            // Leaves: exactly one slot back to the parent, nothing else
+            // inside the ball (otherwise the induced subgraph has a cycle).
+            if up != 1 || down != 0 {
+                return false;
+            }
+        }
+    }
+    // Tree check: #induced edges == #nodes - 1 (each edge counted twice).
+    induced_slots == 2 * (ball_nodes.len() - 1)
+}
+
+/// Number of locally tree-like nodes at radius `r`.
+pub fn tree_like_count(g: &Graph, r: u32) -> usize {
+    g.nodes().filter(|&w| is_locally_tree_like(g, w, r)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{complete, cycle, hnd};
+    use crate::GraphBuilder;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn radius_formula() {
+        assert_eq!(tree_like_radius(1000, 8), 1); // ln(1000)/(10 ln 8) ≈ 0.33 → max(_,1)
+        assert_eq!(tree_like_radius(10usize.pow(9), 2), 2); // 20.7/6.93 ≈ 2.99 → 2
+        assert_eq!(tree_like_radius(1, 8), 1);
+    }
+
+    #[test]
+    fn infinite_tree_prefix_is_tree_like() {
+        // A depth-3 binary tree rooted anywhere interior: build a complete
+        // 3-regular tree of depth 3 and test the root at radius 2.
+        let mut b = GraphBuilder::new(1 + 3 + 6 + 12);
+        let mut next = 1u32;
+        // Root 0 with 3 children.
+        let mut frontier = vec![0u32];
+        for depth in 0..3 {
+            let mut new_frontier = Vec::new();
+            for &u in &frontier {
+                let kids = if depth == 0 { 3 } else { 2 };
+                for _ in 0..kids {
+                    b.add_edge(NodeId(u), NodeId(next));
+                    new_frontier.push(next);
+                    next += 1;
+                }
+            }
+            frontier = new_frontier;
+        }
+        let g = b.build();
+        assert!(is_locally_tree_like(&g, NodeId(0), 2));
+        assert!(is_locally_tree_like(&g, NodeId(0), 3));
+        // Depth-1 nodes see the root with only 3 < deg children at radius 2?
+        // Node 1 has degree 3 (parent + 2 kids); its radius-2 ball is a tree.
+        assert!(is_locally_tree_like(&g, NodeId(1), 2));
+    }
+
+    #[test]
+    fn cycles_are_not_tree_like_at_large_radius() {
+        let g = cycle(8).unwrap();
+        // Radius 3 ball from any node covers 7 of 8 nodes, still a path.
+        assert!(is_locally_tree_like(&g, NodeId(0), 3));
+        // Radius 4 closes the cycle.
+        assert!(!is_locally_tree_like(&g, NodeId(0), 4));
+    }
+
+    #[test]
+    fn triangles_are_not_tree_like() {
+        let g = complete(3).unwrap();
+        assert!(!is_locally_tree_like(&g, NodeId(0), 1));
+        assert_eq!(tree_like_count(&g, 1), 0);
+    }
+
+    #[test]
+    fn radius_zero_is_vacuous() {
+        let g = complete(3).unwrap();
+        assert!(is_locally_tree_like(&g, NodeId(0), 0));
+    }
+
+    #[test]
+    fn most_hnd_nodes_are_tree_like() {
+        // Lemma 2: at least n - O(n^0.8) nodes are locally tree-like.
+        let mut rng = ChaCha8Rng::seed_from_u64(33);
+        let n = 2000;
+        let d = 8;
+        let g = hnd(n, d, &mut rng).unwrap();
+        let r = tree_like_radius(n, d);
+        let count = tree_like_count(&g, r);
+        assert!(
+            count as f64 >= n as f64 - 8.0 * (n as f64).powf(0.8),
+            "tree-like {count}/{n} at radius {r}"
+        );
+        assert!(count > n / 2);
+    }
+
+    #[test]
+    fn parallel_edges_break_tree_likeness() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(0), NodeId(2));
+        let g = b.build();
+        assert!(!is_locally_tree_like(&g, NodeId(0), 1));
+    }
+}

@@ -1,0 +1,158 @@
+//! Incremental construction of [`Graph`] values.
+
+use crate::{Graph, NodeId};
+
+/// Incremental builder producing CSR [`Graph`]s.
+///
+/// Edges are undirected; adding `(u, v)` makes `v` a neighbour of `u` and
+/// vice versa. Adding the same pair twice produces a parallel edge, and
+/// `add_edge(u, u)` produces a self-loop occupying two adjacency slots (the
+/// handshake convention), matching the configuration-model semantics used by
+/// the random graph generators.
+///
+/// # Example
+///
+/// ```
+/// use bcount_graph::{GraphBuilder, NodeId};
+///
+/// let mut b = GraphBuilder::new(4);
+/// for i in 0..3u32 {
+///     b.add_edge(NodeId(i), NodeId(i + 1));
+/// }
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    adj: Vec<Vec<NodeId>>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the builder was created with zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        assert!(u.index() < self.n, "node {u} out of range (n = {})", self.n);
+        assert!(v.index() < self.n, "node {v} out of range (n = {})", self.n);
+        self.adj[u.index()].push(v);
+        if u == v {
+            // Self-loop: second slot on the same node (handshake convention).
+            self.adj[u.index()].push(v);
+        } else {
+            self.adj[v.index()].push(u);
+        }
+    }
+
+    /// Whether `{u, v}` has already been added at least once.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adj[u.index()].contains(&v)
+    }
+
+    /// Current degree of `u` (with multiplicity).
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adj[u.index()].len()
+    }
+
+    /// Finalizes into a CSR [`Graph`].
+    ///
+    /// Neighbour lists are sorted for deterministic iteration order
+    /// regardless of insertion order.
+    pub fn build(mut self) -> Graph {
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        offsets.push(0usize);
+        let mut neighbors = Vec::new();
+        for list in &mut self.adj {
+            list.sort_unstable();
+            neighbors.extend_from_slice(list);
+            offsets.push(neighbors.len());
+        }
+        Graph::from_csr(offsets, neighbors)
+    }
+}
+
+impl FromIterator<(NodeId, NodeId)> for GraphBuilder {
+    /// Collects edges into a builder sized to the largest endpoint seen.
+    fn from_iter<T: IntoIterator<Item = (NodeId, NodeId)>>(iter: T) -> Self {
+        let edges: Vec<_> = iter.into_iter().collect();
+        let n = edges
+            .iter()
+            .map(|&(u, v)| u.index().max(v.index()) + 1)
+            .max()
+            .unwrap_or(0);
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_sorted_adjacency() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(2));
+        b.add_edge(NodeId(0), NodeId(1));
+        let g = b.build();
+        assert_eq!(g.neighbor_slice(NodeId(0)), &[NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_max_endpoint() {
+        let b: GraphBuilder = vec![(NodeId(0), NodeId(4)), (NodeId(1), NodeId(2))]
+            .into_iter()
+            .collect();
+        assert_eq!(b.len(), 5);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn degree_tracks_insertions() {
+        let mut b = GraphBuilder::new(2);
+        assert_eq!(b.degree(NodeId(0)), 0);
+        b.add_edge(NodeId(0), NodeId(1));
+        assert_eq!(b.degree(NodeId(0)), 1);
+        assert_eq!(b.degree(NodeId(1)), 1);
+        assert!(b.has_edge(NodeId(0), NodeId(1)));
+        assert!(b.has_edge(NodeId(1), NodeId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(1);
+        b.add_edge(NodeId(0), NodeId(1));
+    }
+
+    #[test]
+    fn empty_builder() {
+        let b = GraphBuilder::new(0);
+        assert!(b.is_empty());
+        assert!(b.build().is_empty());
+    }
+}

@@ -1,0 +1,768 @@
+//! The synchronous round engine.
+
+use bcount_graph::{Graph, NodeId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+use crate::adversary::{Adversary, ByzantineContext, FullInfoView};
+use crate::idspace::{assign_pids, Pid};
+use crate::message::{Envelope, MessageSize};
+use crate::metrics::Metrics;
+use crate::protocol::{NodeContext, Protocol};
+
+/// When the engine should stop (always additionally bounded by
+/// [`SimConfig::max_rounds`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StopWhen {
+    /// Stop when every honest node reports [`Protocol::has_halted`].
+    #[default]
+    AllHonestHalted,
+    /// Stop as soon as every honest node has an output (it may keep
+    /// relaying afterwards; use when only decisions matter).
+    AllHonestDecided,
+    /// Run exactly `max_rounds` rounds.
+    MaxRoundsOnly,
+}
+
+/// Why the engine stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Every honest node halted.
+    AllHalted,
+    /// Every honest node decided.
+    AllDecided,
+    /// The round budget ran out.
+    MaxRounds,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Master seed: determines IDs and every node's randomness stream.
+    pub seed: u64,
+    /// Hard round budget.
+    pub max_rounds: u64,
+    /// Modelled width of a node ID in bits (for message-size accounting).
+    pub id_bits: u32,
+    /// Stop condition.
+    pub stop_when: StopWhen,
+    /// Record per-round message counts in [`Metrics::messages_per_round`].
+    pub record_round_stats: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0xC0DE,
+            max_rounds: 100_000,
+            id_bits: 64,
+            stop_when: StopWhen::AllHonestHalted,
+            record_round_stats: false,
+        }
+    }
+}
+
+/// The result of an execution.
+#[derive(Debug, Clone)]
+pub struct SimReport<O> {
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Each node's decision (`None` for Byzantine nodes and undecided
+    /// honest nodes), indexed by graph node.
+    pub outputs: Vec<Option<O>>,
+    /// Round at which each node first reported an output.
+    pub decided_round: Vec<Option<u64>>,
+    /// Whether each honest node had halted when the engine stopped
+    /// (`false` for Byzantine nodes).
+    pub halted: Vec<bool>,
+    /// Byzantine indicator per node.
+    pub is_byzantine: Vec<bool>,
+    /// Protocol-level identity of each node.
+    pub pids: Vec<Pid>,
+    /// Message accounting.
+    pub metrics: Metrics,
+    /// Why the engine stopped.
+    pub stop_reason: StopReason,
+}
+
+impl<O> SimReport<O> {
+    /// Indices of the honest nodes.
+    pub fn honest_nodes(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.is_byzantine.len()).filter(move |&i| !self.is_byzantine[i])
+    }
+
+    /// Number of honest nodes.
+    pub fn honest_count(&self) -> usize {
+        self.is_byzantine.iter().filter(|b| !**b).count()
+    }
+
+    /// Number of honest nodes that decided.
+    pub fn honest_decided_count(&self) -> usize {
+        self.honest_nodes()
+            .filter(|&i| self.outputs[i].is_some())
+            .count()
+    }
+}
+
+/// A synchronous execution of one protocol against one adversary on one
+/// graph.
+///
+/// See the [crate docs](crate) for the model; construct with
+/// [`Simulation::new`] and drive with [`Simulation::run`] or
+/// [`Simulation::step`].
+pub struct Simulation<'g, P: Protocol, A> {
+    graph: &'g Graph,
+    config: SimConfig,
+    adversary: A,
+    pids: Vec<Pid>,
+    pid_to_node: HashMap<Pid, NodeId>,
+    neighbor_pids: Vec<Vec<Pid>>,
+    is_byzantine: Vec<bool>,
+    protocols: Vec<Option<P>>,
+    rngs: Vec<ChaCha8Rng>,
+    adversary_rng: ChaCha8Rng,
+    inboxes: Vec<Vec<Envelope<P::Message>>>,
+    decided_round: Vec<Option<u64>>,
+    halted: Vec<bool>,
+    metrics: Metrics,
+    round: u64,
+}
+
+impl<'g, P, A> Simulation<'g, P, A>
+where
+    P: Protocol,
+    A: Adversary<P>,
+{
+    /// Sets up an execution.
+    ///
+    /// `factory` builds the honest protocol instance for each node; it
+    /// receives the graph node id (for experiment bookkeeping, e.g.
+    /// planting inputs) and the [`NodeInit`] describing what the *node
+    /// itself* legitimately knows: its [`Pid`] and its neighbours' [`Pid`]s.
+    /// Byzantine nodes get no protocol instance — `adversary` speaks for
+    /// them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `byzantine` contains an out-of-range node.
+    pub fn new(
+        graph: &'g Graph,
+        byzantine: &[NodeId],
+        mut factory: impl FnMut(NodeId, &NodeInit) -> P,
+        adversary: A,
+        config: SimConfig,
+    ) -> Self {
+        let n = graph.len();
+        let mut master = ChaCha8Rng::seed_from_u64(config.seed);
+        let pids = assign_pids(n, &mut master);
+        let pid_to_node: HashMap<Pid, NodeId> = pids
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, NodeId(i as u32)))
+            .collect();
+        let mut is_byzantine = vec![false; n];
+        for &b in byzantine {
+            assert!(b.index() < n, "byzantine node {b} out of range");
+            is_byzantine[b.index()] = true;
+        }
+        let neighbor_pids: Vec<Vec<Pid>> = (0..n)
+            .map(|u| {
+                let mut v: Vec<Pid> = graph
+                    .neighbors(NodeId(u as u32))
+                    .map(|w| pids[w.index()])
+                    .collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        let rngs: Vec<ChaCha8Rng> = (0..n)
+            .map(|_| ChaCha8Rng::seed_from_u64(master.gen()))
+            .collect();
+        let adversary_rng = ChaCha8Rng::seed_from_u64(master.gen());
+        let protocols: Vec<Option<P>> = (0..n)
+            .map(|u| {
+                if is_byzantine[u] {
+                    None
+                } else {
+                    let init = NodeInit {
+                        pid: pids[u],
+                        neighbors: neighbor_pids[u].clone(),
+                    };
+                    Some(factory(NodeId(u as u32), &init))
+                }
+            })
+            .collect();
+        Simulation {
+            graph,
+            config,
+            adversary,
+            pids,
+            pid_to_node,
+            neighbor_pids,
+            is_byzantine,
+            protocols,
+            rngs,
+            adversary_rng,
+            inboxes: vec![Vec::new(); n],
+            decided_round: vec![None; n],
+            halted: vec![false; n],
+            metrics: Metrics::new(n),
+            round: 0,
+        }
+    }
+
+    /// Current round (0 before the first [`Simulation::step`]).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The protocol instance of an honest, in-flight node.
+    pub fn protocol(&self, u: NodeId) -> Option<&P> {
+        self.protocols.get(u.index()).and_then(|p| p.as_ref())
+    }
+
+    /// Executes one synchronous round: honest phase, rushing adversary
+    /// phase, delivery.
+    pub fn step(&mut self) {
+        self.round += 1;
+        let n = self.graph.len();
+        // --- Honest phase -------------------------------------------------
+        let mut honest_outgoing: Vec<(NodeId, NodeId, P::Message)> = Vec::new();
+        for u in 0..n {
+            if self.is_byzantine[u] || self.halted[u] {
+                continue;
+            }
+            let mut proto = self.protocols[u].take().expect("honest protocol present");
+            let mut ctx = NodeContext {
+                round: self.round,
+                me: self.pids[u],
+                neighbors: &self.neighbor_pids[u],
+                inbox: &self.inboxes[u],
+                rng: &mut self.rngs[u],
+                outgoing: Vec::new(),
+            };
+            proto.on_round(&mut ctx);
+            let outgoing = ctx.outgoing;
+            for (to_pid, msg) in outgoing {
+                let to = self.pid_to_node[&to_pid];
+                self.metrics.per_node[u].record(msg.size_bits(self.config.id_bits));
+                honest_outgoing.push((NodeId(u as u32), to, msg));
+            }
+            if self.decided_round[u].is_none() && proto.output().is_some() {
+                self.decided_round[u] = Some(self.round);
+            }
+            self.halted[u] = proto.has_halted();
+            self.protocols[u] = Some(proto);
+        }
+        // --- Adversary phase (rushing) ------------------------------------
+        let byz_outgoing = {
+            let view = FullInfoView {
+                round: self.round,
+                graph: self.graph,
+                pids: &self.pids,
+                is_byzantine: &self.is_byzantine,
+                honest_states: self.protocols.iter().map(|p| p.as_ref()).collect(),
+                honest_outgoing: &honest_outgoing,
+                inboxes: &self.inboxes,
+            };
+            let mut byz_ctx = ByzantineContext {
+                graph: self.graph,
+                is_byzantine: &self.is_byzantine,
+                rng: &mut self.adversary_rng,
+                outgoing: Vec::new(),
+            };
+            self.adversary.on_round(&view, &mut byz_ctx);
+            byz_ctx.outgoing
+        };
+        // --- Delivery ------------------------------------------------------
+        let mut staged: Vec<Vec<Envelope<P::Message>>> = vec![Vec::new(); n];
+        let mut message_count = 0u64;
+        for (from, to, msg) in honest_outgoing {
+            staged[to.index()].push(Envelope {
+                sender: self.pids[from.index()],
+                msg,
+            });
+            message_count += 1;
+        }
+        let honest_message_count = message_count;
+        for (from, to, msg) in byz_outgoing {
+            self.metrics.per_node[from.index()].record(msg.size_bits(self.config.id_bits));
+            staged[to.index()].push(Envelope {
+                sender: self.pids[from.index()],
+                msg,
+            });
+            message_count += 1;
+        }
+        for inbox in &mut staged {
+            inbox.sort_by_key(|e| e.sender);
+        }
+        self.inboxes = staged;
+        self.metrics.rounds = self.round;
+        if self.config.record_round_stats {
+            self.metrics.messages_per_round.push(message_count);
+            let byzantine_messages = message_count - honest_message_count;
+            let decided = (0..n)
+                .filter(|&u| !self.is_byzantine[u] && self.decided_round[u].is_some())
+                .count();
+            let halted = (0..n)
+                .filter(|&u| !self.is_byzantine[u] && self.halted[u])
+                .count();
+            self.metrics.round_trace.push(crate::trace::RoundTrace {
+                round: self.round,
+                honest_messages: honest_message_count,
+                byzantine_messages,
+                decided,
+                halted,
+            });
+        }
+    }
+
+    fn stop_reason(&self) -> Option<StopReason> {
+        let all_halted = (0..self.graph.len())
+            .filter(|&u| !self.is_byzantine[u])
+            .all(|u| self.halted[u]);
+        let all_decided = (0..self.graph.len())
+            .filter(|&u| !self.is_byzantine[u])
+            .all(|u| self.decided_round[u].is_some());
+        match self.config.stop_when {
+            StopWhen::AllHonestHalted if all_halted => Some(StopReason::AllHalted),
+            StopWhen::AllHonestDecided if all_decided => Some(StopReason::AllDecided),
+            _ if self.round >= self.config.max_rounds => Some(StopReason::MaxRounds),
+            _ => None,
+        }
+    }
+
+    /// Runs rounds until the configured stop condition (or the round
+    /// budget) is reached and reports the outcome.
+    pub fn run(&mut self) -> SimReport<P::Output> {
+        let reason = loop {
+            if let Some(reason) = self.stop_reason() {
+                break reason;
+            }
+            self.step();
+        };
+        self.report(reason)
+    }
+
+    /// Builds a report of the current state.
+    fn report(&self, stop_reason: StopReason) -> SimReport<P::Output> {
+        SimReport {
+            rounds: self.round,
+            outputs: self
+                .protocols
+                .iter()
+                .map(|p| p.as_ref().and_then(|p| p.output()))
+                .collect(),
+            decided_round: self.decided_round.clone(),
+            halted: self.halted.clone(),
+            is_byzantine: self.is_byzantine.clone(),
+            pids: self.pids.clone(),
+            metrics: self.metrics.clone(),
+            stop_reason,
+        }
+    }
+}
+
+/// What a node legitimately knows at start-up: its own identity and its
+/// neighbours' identities — *strictly local knowledge*, per the paper.
+#[derive(Debug, Clone)]
+pub struct NodeInit {
+    /// The node's own [`Pid`].
+    pub pid: Pid,
+    /// Neighbour [`Pid`]s, sorted, with edge multiplicity.
+    pub neighbors: Vec<Pid>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::NullAdversary;
+    use bcount_graph::gen::{cycle, path};
+
+    /// Flood-max: every node repeatedly broadcasts the largest ID it has
+    /// seen; decides after `budget` silent-stable rounds. Used to exercise
+    /// delivery, determinism, and metrics.
+    #[derive(Debug, Clone)]
+    struct FloodMax {
+        best: Pid,
+        changed: bool,
+        stable_rounds: u32,
+        budget: u32,
+    }
+
+    impl MessageSize for Pid {
+        fn size_bits(&self, id_bits: u32) -> u64 {
+            u64::from(id_bits)
+        }
+    }
+
+    impl Protocol for FloodMax {
+        type Message = Pid;
+        type Output = Pid;
+        fn on_round(&mut self, ctx: &mut NodeContext<'_, Pid>) {
+            for env in ctx.inbox().to_vec() {
+                if env.msg > self.best {
+                    self.best = env.msg;
+                    self.changed = true;
+                }
+            }
+            if ctx.round() == 1 || self.changed {
+                ctx.broadcast(self.best);
+                self.changed = false;
+                self.stable_rounds = 0;
+            } else {
+                self.stable_rounds += 1;
+            }
+        }
+        fn output(&self) -> Option<Pid> {
+            (self.stable_rounds >= self.budget).then_some(self.best)
+        }
+        fn has_halted(&self) -> bool {
+            self.stable_rounds >= self.budget
+        }
+    }
+
+    fn flood_sim<'g>(
+        g: &'g Graph,
+        byz: &[NodeId],
+        cfg: SimConfig,
+    ) -> Simulation<'g, FloodMax, NullAdversary> {
+        Simulation::new(
+            g,
+            byz,
+            |_, init| FloodMax {
+                best: init.pid,
+                changed: false,
+                stable_rounds: 0,
+                budget: 30,
+            },
+            NullAdversary,
+            cfg,
+        )
+    }
+
+    #[test]
+    fn flood_max_converges_to_global_max() {
+        let g = cycle(16).unwrap();
+        let mut sim = flood_sim(&g, &[], SimConfig::default());
+        let report = sim.run();
+        assert_eq!(report.stop_reason, StopReason::AllHalted);
+        let max = *report.pids.iter().max().unwrap();
+        for out in &report.outputs {
+            assert_eq!(*out, Some(max));
+        }
+        // Convergence takes at least the diameter's worth of rounds.
+        assert!(report.rounds >= 8);
+    }
+
+    #[test]
+    fn same_seed_same_transcript() {
+        let g = path(10).unwrap();
+        let r1 = flood_sim(&g, &[], SimConfig::default()).run();
+        let r2 = flood_sim(&g, &[], SimConfig::default()).run();
+        assert_eq!(r1.pids, r2.pids);
+        assert_eq!(r1.rounds, r2.rounds);
+        assert_eq!(r1.metrics, r2.metrics);
+        let r3 = flood_sim(
+            &g,
+            &[],
+            SimConfig {
+                seed: 99,
+                ..SimConfig::default()
+            },
+        )
+        .run();
+        assert_ne!(r1.pids, r3.pids);
+    }
+
+    #[test]
+    fn byzantine_nodes_run_no_protocol() {
+        let g = cycle(6).unwrap();
+        let byz = [NodeId(2)];
+        let mut sim = flood_sim(&g, &byz, SimConfig::default());
+        let report = sim.run();
+        assert!(report.outputs[2].is_none());
+        assert!(report.is_byzantine[2]);
+        assert_eq!(report.honest_count(), 5);
+        assert_eq!(report.honest_decided_count(), 5);
+        // Silent Byzantine node sent nothing.
+        assert_eq!(report.metrics.per_node[2].messages_sent, 0);
+    }
+
+    #[test]
+    fn max_rounds_caps_execution() {
+        let g = cycle(6).unwrap();
+        let cfg = SimConfig {
+            max_rounds: 3,
+            ..SimConfig::default()
+        };
+        let mut sim = flood_sim(&g, &[], cfg);
+        let report = sim.run();
+        assert_eq!(report.rounds, 3);
+        assert_eq!(report.stop_reason, StopReason::MaxRounds);
+    }
+
+    #[test]
+    fn decided_round_is_recorded_once() {
+        let g = path(4).unwrap();
+        let mut sim = flood_sim(&g, &[], SimConfig::default());
+        let report = sim.run();
+        for u in report.honest_nodes() {
+            let dr = report.decided_round[u].unwrap();
+            assert!(dr <= report.rounds);
+            assert!(dr > 30, "stability budget delays decision");
+        }
+    }
+
+    #[test]
+    fn metrics_count_messages_and_round_stats() {
+        let g = cycle(4).unwrap();
+        let cfg = SimConfig {
+            record_round_stats: true,
+            ..SimConfig::default()
+        };
+        let mut sim = flood_sim(&g, &[], cfg);
+        let report = sim.run();
+        // Round 1: everyone broadcasts to 2 neighbours = 8 messages.
+        assert_eq!(report.metrics.messages_per_round[0], 8);
+        assert!(report.metrics.total_messages(0..4) >= 8);
+        // Every message is one 64-bit ID.
+        let m = &report.metrics.per_node[0];
+        assert_eq!(m.bits_sent, m.messages_sent * 64);
+        assert_eq!(m.max_message_bits, 64);
+    }
+
+    /// An adversary that echoes a chosen fake ID to test rushing and
+    /// authenticity: honest receivers must see the Byzantine node's true
+    /// pid as sender.
+    struct MaxFaker;
+    impl Adversary<FloodMax> for MaxFaker {
+        fn on_round(
+            &mut self,
+            view: &FullInfoView<'_, FloodMax>,
+            ctx: &mut ByzantineContext<'_, Pid>,
+        ) {
+            for b in view.byzantine_nodes() {
+                ctx.broadcast(b, Pid(u64::MAX));
+            }
+        }
+    }
+
+    #[test]
+    fn adversary_messages_are_authenticated_and_delivered() {
+        let g = cycle(5).unwrap();
+        let byz = [NodeId(0)];
+        let mut sim = Simulation::new(
+            &g,
+            &byz,
+            |_, init| FloodMax {
+                best: init.pid,
+                changed: false,
+                stable_rounds: 0,
+                budget: 10,
+            },
+            MaxFaker,
+            SimConfig::default(),
+        );
+        let report = sim.run();
+        // The fake max wins — flood-max is not Byzantine-resilient.
+        for u in report.honest_nodes() {
+            assert_eq!(report.outputs[u], Some(Pid(u64::MAX)));
+        }
+        // And the adversary's traffic was accounted.
+        assert!(report.metrics.per_node[0].messages_sent > 0);
+    }
+
+    /// A rushing adversary: in round 1 it echoes (value + 1) of whatever
+    /// the honest nodes are sending *that very round* — only possible
+    /// because the engine shows the adversary the honest round before
+    /// delivery.
+    struct Rusher;
+    impl Adversary<FloodMax> for Rusher {
+        fn on_round(
+            &mut self,
+            view: &FullInfoView<'_, FloodMax>,
+            ctx: &mut ByzantineContext<'_, Pid>,
+        ) {
+            if view.round() != 1 {
+                return;
+            }
+            let best = view
+                .honest_outgoing()
+                .iter()
+                .map(|(_, _, m)| m.0)
+                .max();
+            if let Some(best) = best {
+                for b in view.byzantine_nodes() {
+                    ctx.broadcast(b, Pid(best + 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adversary_observes_the_current_round_before_committing() {
+        let g = cycle(6).unwrap();
+        let byz = [NodeId(3)];
+        let mut sim = Simulation::new(
+            &g,
+            &byz,
+            |_, init| FloodMax {
+                best: init.pid,
+                changed: false,
+                stable_rounds: 0,
+                budget: 10,
+            },
+            Rusher,
+            SimConfig::default(),
+        );
+        let report = sim.run();
+        // The rusher always outbids whatever flooded this round, so every
+        // honest node converges to a value strictly above the honest max.
+        let honest_max = report
+            .pids
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !report.is_byzantine[*i])
+            .map(|(_, p)| *p)
+            .max()
+            .unwrap();
+        for u in report.honest_nodes() {
+            let out = report.outputs[u].expect("decided");
+            assert!(
+                out > honest_max,
+                "rushing echo must dominate the honest max: {out} vs {honest_max}"
+            );
+        }
+    }
+
+    #[test]
+    fn stop_when_all_decided_stops_before_halt() {
+        // With AllHonestDecided and budget 30, decision == halt for
+        // FloodMax, so exercise the variant flag at least.
+        let g = cycle(4).unwrap();
+        let cfg = SimConfig {
+            stop_when: StopWhen::AllHonestDecided,
+            ..SimConfig::default()
+        };
+        let mut sim = flood_sim(&g, &[], cfg);
+        let report = sim.run();
+        assert_eq!(report.stop_reason, StopReason::AllDecided);
+    }
+
+    /// Panics if scheduled after reporting halted — used to prove the
+    /// engine stops driving halted nodes.
+    struct HaltsOnce {
+        rounds_seen: u32,
+    }
+    impl Protocol for HaltsOnce {
+        type Message = Pid;
+        type Output = u32;
+        fn on_round(&mut self, _ctx: &mut NodeContext<'_, Pid>) {
+            assert!(self.rounds_seen < 2, "scheduled after halting");
+            self.rounds_seen += 1;
+        }
+        fn output(&self) -> Option<u32> {
+            (self.rounds_seen >= 2).then_some(self.rounds_seen)
+        }
+        fn has_halted(&self) -> bool {
+            self.rounds_seen >= 2
+        }
+    }
+
+    #[test]
+    fn halted_nodes_are_never_scheduled_again() {
+        let g = cycle(4).unwrap();
+        let cfg = SimConfig {
+            max_rounds: 50,
+            stop_when: StopWhen::MaxRoundsOnly,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(
+            &g,
+            &[],
+            |_, _| HaltsOnce { rounds_seen: 0 },
+            NullAdversary,
+            cfg,
+        );
+        // Runs 50 rounds; HaltsOnce would panic if scheduled a 3rd time.
+        let report = sim.run();
+        assert_eq!(report.rounds, 50);
+        assert_eq!(report.stop_reason, StopReason::MaxRounds);
+        assert!(report.halted.iter().all(|h| *h));
+        assert_eq!(report.outputs, vec![Some(2); 4]);
+    }
+
+    #[test]
+    fn multiple_sends_to_same_neighbor_all_deliver() {
+        struct Spray {
+            got: usize,
+        }
+        impl Protocol for Spray {
+            type Message = Pid;
+            type Output = usize;
+            fn on_round(&mut self, ctx: &mut NodeContext<'_, Pid>) {
+                if ctx.round() == 1 {
+                    let to = ctx.neighbors()[0];
+                    let me = ctx.my_id();
+                    ctx.send(to, me);
+                    ctx.send(to, me);
+                    ctx.send(to, me);
+                } else {
+                    self.got += ctx.inbox().len();
+                }
+            }
+            fn output(&self) -> Option<usize> {
+                Some(self.got)
+            }
+            fn has_halted(&self) -> bool {
+                false
+            }
+        }
+        let g = path(2).unwrap();
+        let cfg = SimConfig {
+            max_rounds: 2,
+            stop_when: StopWhen::MaxRoundsOnly,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(&g, &[], |_, _| Spray { got: 0 }, NullAdversary, cfg);
+        let report = sim.run();
+        assert_eq!(report.outputs, vec![Some(3), Some(3)]);
+    }
+
+    #[test]
+    fn round_trace_records_census_and_volumes() {
+        let g = cycle(4).unwrap();
+        let cfg = SimConfig {
+            record_round_stats: true,
+            ..SimConfig::default()
+        };
+        let mut sim = flood_sim(&g, &[NodeId(1)], cfg);
+        let report = sim.run();
+        let trace = &report.metrics.round_trace;
+        assert_eq!(trace.len() as u64, report.rounds);
+        crate::trace::validate_trace(trace).expect("trace invariants hold");
+        // Round 1: 3 honest nodes broadcast to 2 neighbours each.
+        assert_eq!(trace[0].honest_messages, 6);
+        assert_eq!(trace[0].byzantine_messages, 0);
+        // Eventually all honest nodes decide and halt.
+        let last = trace.last().unwrap();
+        assert_eq!(last.decided, 3);
+        assert_eq!(last.halted, 3);
+    }
+
+    #[test]
+    fn inboxes_are_sorted_by_sender() {
+        // Structural property relied upon for determinism: check via a
+        // 2-round manual drive on a star-like path.
+        let g = path(3).unwrap();
+        let mut sim = flood_sim(&g, &[], SimConfig::default());
+        sim.step();
+        sim.step();
+        // Node 1 (middle) hears from both ends in sorted order.
+        let inbox = &sim.inboxes[1];
+        assert_eq!(inbox.len(), 2);
+        assert!(inbox[0].sender <= inbox[1].sender);
+    }
+}

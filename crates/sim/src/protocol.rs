@@ -1,0 +1,185 @@
+//! The protocol interface honest nodes implement.
+
+use rand_chacha::ChaCha8Rng;
+
+use crate::idspace::Pid;
+use crate::message::{Envelope, MessageSize};
+
+/// A distributed protocol run by every *honest* node.
+///
+/// One value of the implementing type exists per honest node; the engine
+/// drives it one [`Protocol::on_round`] call per synchronous round.
+/// Byzantine nodes are driven by an [`crate::Adversary`] instead.
+///
+/// # Round semantics
+///
+/// In round `r` a node sees (via [`NodeContext::inbox`]) exactly the
+/// messages sent to it in round `r − 1`, and any message it sends is seen
+/// by its recipients in round `r + 1`. Local computation is free, matching
+/// the LOCAL/CONGEST conventions.
+pub trait Protocol {
+    /// Message type exchanged over edges.
+    type Message: Clone + MessageSize;
+    /// The value the node irrevocably decides.
+    type Output: Clone;
+
+    /// Executes one synchronous round.
+    fn on_round(&mut self, ctx: &mut NodeContext<'_, Self::Message>);
+
+    /// The node's decision, if it has decided. Decisions are irrevocable:
+    /// once `Some`, the value must never change (tests enforce this).
+    fn output(&self) -> Option<Self::Output>;
+
+    /// Whether the node has permanently stopped (will never send again).
+    /// Halted nodes are no longer scheduled.
+    fn has_halted(&self) -> bool {
+        false
+    }
+}
+
+/// Per-round execution context handed to [`Protocol::on_round`].
+///
+/// Provides the node's identity, its (authenticated) neighbour list, the
+/// round number, the inbox of last round's messages, deterministic
+/// randomness, and the send/broadcast primitives.
+#[derive(Debug)]
+pub struct NodeContext<'a, M> {
+    pub(crate) round: u64,
+    pub(crate) me: Pid,
+    pub(crate) neighbors: &'a [Pid],
+    pub(crate) inbox: &'a [Envelope<M>],
+    pub(crate) rng: &'a mut ChaCha8Rng,
+    pub(crate) outgoing: Vec<(Pid, M)>,
+}
+
+impl<'a, M: Clone> NodeContext<'a, M> {
+    /// Current round number (1-based).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// This node's own identity.
+    pub fn my_id(&self) -> Pid {
+        self.me
+    }
+
+    /// Authenticated identities of the node's neighbours, with edge
+    /// multiplicity, sorted. (Knowing one's neighbours' IDs is the standard
+    /// assumption the paper's algorithms make, e.g. for the beacon path
+    /// check "whether the neighbor from which it received the message does
+    /// indeed have id u_k".)
+    pub fn neighbors(&self) -> &[Pid] {
+        self.neighbors
+    }
+
+    /// The node's degree (with multiplicity).
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Messages received at the end of the previous round, sorted by
+    /// sender.
+    pub fn inbox(&self) -> &[Envelope<M>] {
+        self.inbox
+    }
+
+    /// Whether `who` sent us at least one message this round. Used e.g. by
+    /// Algorithm 1's mute-neighbour detection.
+    pub fn heard_from(&self, who: Pid) -> bool {
+        self.inbox.iter().any(|e| e.sender == who)
+    }
+
+    /// This node's private deterministic randomness stream.
+    pub fn rng(&mut self) -> &mut ChaCha8Rng {
+        self.rng
+    }
+
+    /// Sends `msg` to the neighbour `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not a neighbour — the simulated network has no
+    /// routing; only edge-local communication exists.
+    pub fn send(&mut self, to: Pid, msg: M) {
+        assert!(
+            self.neighbors.contains(&to),
+            "protocol attempted to send to non-neighbor {to}"
+        );
+        self.outgoing.push((to, msg));
+    }
+
+    /// Sends `msg` to every distinct neighbour.
+    pub fn broadcast(&mut self, msg: M) {
+        let mut last: Option<Pid> = None;
+        // Neighbour list is sorted; skip multiplicity duplicates.
+        for i in 0..self.neighbors.len() {
+            let to = self.neighbors[i];
+            if last == Some(to) {
+                continue;
+            }
+            last = Some(to);
+            self.outgoing.push((to, msg.clone()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ctx<'a>(
+        neighbors: &'a [Pid],
+        inbox: &'a [Envelope<u8>],
+        rng: &'a mut ChaCha8Rng,
+    ) -> NodeContext<'a, u8> {
+        NodeContext {
+            round: 3,
+            me: Pid(42),
+            neighbors,
+            inbox,
+            rng,
+            outgoing: Vec::new(),
+        }
+    }
+
+    impl MessageSize for u8 {
+        fn size_bits(&self, _id_bits: u32) -> u64 {
+            8
+        }
+    }
+
+    #[test]
+    fn broadcast_dedups_multi_edges() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let neighbors = [Pid(1), Pid(1), Pid(2)];
+        let mut c = ctx(&neighbors, &[], &mut rng);
+        c.broadcast(7);
+        assert_eq!(c.outgoing, vec![(Pid(1), 7), (Pid(2), 7)]);
+    }
+
+    #[test]
+    fn heard_from_checks_inbox() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let neighbors = [Pid(1)];
+        let inbox = [Envelope {
+            sender: Pid(1),
+            msg: 9u8,
+        }];
+        let c = ctx(&neighbors, &inbox, &mut rng);
+        assert!(c.heard_from(Pid(1)));
+        assert!(!c.heard_from(Pid(2)));
+        assert_eq!(c.round(), 3);
+        assert_eq!(c.my_id(), Pid(42));
+        assert_eq!(c.degree(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbor")]
+    fn send_rejects_strangers() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let neighbors = [Pid(1)];
+        let mut c = ctx(&neighbors, &[], &mut rng);
+        c.send(Pid(9), 1);
+    }
+}

@@ -1,0 +1,89 @@
+//! Structured per-round execution traces.
+//!
+//! When [`crate::SimConfig::record_round_stats`] is set, the engine
+//! records one [`RoundTrace`] per round: message volumes split by honest
+//! and Byzantine senders, and the running decision/halt census. The
+//! experiment harness uses these to plot decision waves (e.g. how the
+//! beacon-spam defence of Lemma 11 unfolds phase by phase), and tests use
+//! them to assert monotonicity invariants.
+
+use serde::{Deserialize, Serialize};
+
+/// Snapshot of one synchronous round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundTrace {
+    /// The round number (1-based).
+    pub round: u64,
+    /// Messages sent by honest nodes this round.
+    pub honest_messages: u64,
+    /// Messages sent by Byzantine nodes this round.
+    pub byzantine_messages: u64,
+    /// Honest nodes with an output at the end of this round.
+    pub decided: usize,
+    /// Honest nodes halted at the end of this round.
+    pub halted: usize,
+}
+
+/// Invariant checks over a trace (used by tests; cheap enough to run
+/// after any instrumented execution).
+///
+/// Returns the first violated invariant as a human-readable message.
+pub fn validate_trace(trace: &[RoundTrace]) -> Result<(), String> {
+    let mut prev_decided = 0usize;
+    let mut prev_round = 0u64;
+    for t in trace {
+        if t.round != prev_round + 1 {
+            return Err(format!(
+                "rounds must be consecutive: {} after {}",
+                t.round, prev_round
+            ));
+        }
+        if t.decided < prev_decided {
+            return Err(format!(
+                "decisions are irrevocable but count fell {} -> {} at round {}",
+                prev_decided, t.decided, t.round
+            ));
+        }
+        if t.halted > t.decided {
+            // Halting without deciding is legal in general protocols, but
+            // every protocol in this workspace decides at or before
+            // halting; flag it so tests catch accidental early halts.
+            return Err(format!(
+                "round {}: {} halted exceeds {} decided",
+                t.round, t.halted, t.decided
+            ));
+        }
+        prev_decided = t.decided;
+        prev_round = t.round;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(round: u64, decided: usize, halted: usize) -> RoundTrace {
+        RoundTrace {
+            round,
+            honest_messages: 0,
+            byzantine_messages: 0,
+            decided,
+            halted,
+        }
+    }
+
+    #[test]
+    fn accepts_monotone_traces() {
+        let trace = [t(1, 0, 0), t(2, 3, 0), t(3, 3, 3)];
+        assert!(validate_trace(&trace).is_ok());
+        assert!(validate_trace(&[]).is_ok());
+    }
+
+    #[test]
+    fn rejects_gaps_and_regressions() {
+        assert!(validate_trace(&[t(2, 0, 0)]).is_err());
+        assert!(validate_trace(&[t(1, 5, 0), t(2, 3, 0)]).is_err());
+        assert!(validate_trace(&[t(1, 1, 2)]).is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! The §1.1 pipeline under faults: Byzantine counting feeds the agreement
+//! protocol its `log n` estimates; almost-everywhere agreement follows.
+
+use byzantine_counting::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn pipeline_survives_silent_byzantine_nodes() {
+    let n = 128;
+    let mut rng = ChaCha8Rng::seed_from_u64(20);
+    let g = hnd(n, 8, &mut rng).unwrap();
+    let byz: Vec<NodeId> = vec![NodeId(3), NodeId(60)];
+    let inputs: Vec<bool> = (0..n).map(|u| u < 90).collect();
+    let report = counting_then_agreement(
+        &g,
+        &byz,
+        &inputs,
+        CongestParams::default(),
+        AgreementParams::default(),
+        20,
+    );
+    // The counting phase produced estimates for the honest nodes.
+    let estimates: Vec<u32> = report.log_estimates.iter().flatten().copied().collect();
+    assert!(estimates.len() >= n - byz.len());
+    // Every estimate is a plausible log n.
+    let cap = (n as f64).ln().ceil() as u32 + 1;
+    for &e in &estimates {
+        assert!(e >= 2 && e <= cap, "estimate {e} out of range");
+    }
+    // Almost-everywhere agreement on the majority input.
+    assert!(
+        report.agreement_fraction(true) >= 0.85,
+        "agreement fraction {}",
+        report.agreement_fraction(true)
+    );
+}
+
+#[test]
+fn pipeline_respects_validity() {
+    // Unanimous inputs must survive the pipeline unchanged.
+    let n = 64;
+    let mut rng = ChaCha8Rng::seed_from_u64(21);
+    let g = hnd(n, 8, &mut rng).unwrap();
+    let inputs = vec![true; n];
+    let report = counting_then_agreement(
+        &g,
+        &[],
+        &inputs,
+        CongestParams::default(),
+        AgreementParams::default(),
+        21,
+    );
+    assert!((report.agreement_fraction(true) - 1.0).abs() < 1e-12);
+}

@@ -323,13 +323,7 @@ mod tests {
         let mut sim = Simulation::new(
             &g,
             byz,
-            |u, _| {
-                AgreementProtocol::new(
-                    AgreementParams::default(),
-                    u.index() < ones,
-                    oracle,
-                )
-            },
+            |u, _| AgreementProtocol::new(AgreementParams::default(), u.index() < ones, oracle),
             NullAdversary,
             SimConfig {
                 seed,
@@ -344,12 +338,7 @@ mod tests {
     fn oracle_agreement_converges_to_majority() {
         let n = 200;
         let report = agreement_with_oracle(n, 140, &[], 3);
-        let ones = report
-            .outputs
-            .iter()
-            .flatten()
-            .filter(|o| o.value)
-            .count();
+        let ones = report.outputs.iter().flatten().filter(|o| o.value).count();
         assert!(
             ones as f64 >= 0.9 * n as f64,
             "{ones}/{n} converged to the 70% majority"
@@ -378,9 +367,7 @@ mod tests {
         let mut sim = Simulation::new(
             &g,
             &byz,
-            |u, _| {
-                AgreementProtocol::new(AgreementParams::default(), u.index() < 150, oracle)
-            },
+            |u, _| AgreementProtocol::new(AgreementParams::default(), u.index() < 150, oracle),
             BiasAdversary { target: false },
             SimConfig {
                 seed: 21,

@@ -186,9 +186,7 @@ impl Adversary<Convergecast> for CountLiarAdversary {
                 .map(|e| e.sender)
                 .collect();
             if let Some(&parent_pid) = joins.iter().min() {
-                let parent = view
-                    .node_of(parent_pid)
-                    .expect("sender exists");
+                let parent = view.node_of(parent_pid).expect("sender exists");
                 ctx.send(b, parent, TreeMsg::Count(1 + self.inflation));
                 for other in joins.iter().filter(|&&p| p != parent_pid) {
                     if let Some(node) = view.node_of(*other) {
@@ -259,7 +257,9 @@ mod tests {
             &g,
             &byz,
             |u, init| Convergecast::new(u == NodeId(0), init),
-            CountLiarAdversary { inflation: 1_000_000 },
+            CountLiarAdversary {
+                inflation: 1_000_000,
+            },
             SimConfig::default(),
         );
         let report = sim.run();

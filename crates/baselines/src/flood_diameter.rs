@@ -151,9 +151,6 @@ mod tests {
         let es = run(&small, NodeId(0), 60, 3).outputs[1].unwrap();
         let el = run(&large, NodeId(0), 60, 3).outputs[1].unwrap();
         assert!(el > es, "diameter estimate must grow: {es} -> {el}");
-        assert!(
-            el <= 4 * es,
-            "growth must be logarithmic-ish: {es} -> {el}"
-        );
+        assert!(el <= 4 * es, "growth must be logarithmic-ish: {es} -> {el}");
     }
 }

@@ -128,12 +128,7 @@ mod tests {
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
-    fn run(
-        n: usize,
-        byz: &[NodeId],
-        fake: Option<u32>,
-        seed: u64,
-    ) -> SimReport<u32> {
+    fn run(n: usize, byz: &[NodeId], fake: Option<u32>, seed: u64) -> SimReport<u32> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let g = hnd(n, 8, &mut rng).unwrap();
         let budget = 30;
@@ -206,11 +201,7 @@ mod tests {
         );
         sim.step();
         let ones = (0..n)
-            .filter(|&u| {
-                sim.protocol(NodeId(u as u32))
-                    .and_then(|p| p.own_sample())
-                    == Some(1)
-            })
+            .filter(|&u| sim.protocol(NodeId(u as u32)).and_then(|p| p.own_sample()) == Some(1))
             .count();
         // P(X = 1) = 1/2; allow 4 sigma.
         let expect = n as f64 / 2.0;

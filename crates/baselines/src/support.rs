@@ -84,8 +84,7 @@ impl Protocol for SupportEstimation {
             ctx.broadcast(Minima(self.mins.clone()));
         } else {
             let mut improved = false;
-            let inbox: Vec<Vec<f64>> =
-                ctx.inbox().iter().map(|env| env.msg.0.clone()).collect();
+            let inbox: Vec<Vec<f64>> = ctx.inbox().iter().map(|env| env.msg.0.clone()).collect();
             for values in inbox {
                 for (slot, v) in self.mins.iter_mut().zip(values) {
                     // Negative "samples" are adversarial; clamp at 0 so the

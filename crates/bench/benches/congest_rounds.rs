@@ -21,16 +21,7 @@ fn bench_congest(c: &mut Criterion) {
         });
         let byz = spread_byzantine(n, theorem2_budget(n, 0.05));
         group.bench_with_input(BenchmarkId::new("beacon_spam", n), &n, |b, _| {
-            b.iter(|| {
-                run_congest(
-                    &g,
-                    &byz,
-                    params,
-                    BeaconSpamAdversary::new(params),
-                    5,
-                    4_000,
-                )
-            });
+            b.iter(|| run_congest(&g, &byz, params, BeaconSpamAdversary::new(params), 5, 4_000));
         });
     }
     group.finish();

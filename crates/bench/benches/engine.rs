@@ -1,12 +1,23 @@
 //! Simulator round-throughput: the substrate cost underneath every
-//! experiment (messages delivered per second through the engine).
+//! experiment.
+//!
+//! Reported as **throughput in rounds/sec** (criterion `Throughput`
+//! elements = rounds per iteration), so the perf trajectory of the engine
+//! is one number per graph size. The `reuse_buffers` benchmarks measure
+//! the steady-state round loop alone (one long-lived simulation stepped
+//! in place — the zero-alloc hot path); the `full_execution` benchmarks
+//! include construction, pid assignment, and buffer warm-up. With
+//! `--features parallel` the same workload is additionally run through
+//! the parallel honest phase for comparison.
 
 use bcount_bench::runners::network;
 use bcount_sim::{
     MessageSize, NodeContext, NullAdversary, Protocol, SimConfig, Simulation, StopWhen,
 };
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::time::Duration;
+
+const ROUNDS: u64 = 50;
 
 /// A protocol that broadcasts a counter every round, forever — pure
 /// engine load.
@@ -33,6 +44,15 @@ impl Protocol for Chatter {
     }
 }
 
+fn chatter_config(parallel: bool) -> SimConfig {
+    SimConfig {
+        max_rounds: u64::MAX,
+        stop_when: StopWhen::MaxRoundsOnly,
+        parallel,
+        ..SimConfig::default()
+    }
+}
+
 fn bench_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_rounds");
     group.sample_size(10);
@@ -40,26 +60,67 @@ fn bench_engine(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(3));
     for &n in &[256usize, 1024, 4096] {
         let g = network(n, 8, n as u64);
-        group.bench_with_input(
-            BenchmarkId::new("50_rounds_full_broadcast", n),
-            &n,
-            |b, _| {
-                b.iter(|| {
-                    let mut sim = Simulation::new(
-                        &g,
-                        &[],
-                        |_, _| Chatter(0),
-                        NullAdversary,
-                        SimConfig {
-                            max_rounds: 50,
-                            stop_when: StopWhen::MaxRoundsOnly,
-                            ..SimConfig::default()
-                        },
-                    );
-                    sim.run()
-                });
-            },
+        group.throughput(Throughput::Elements(ROUNDS));
+
+        // Construction + warm-up + ROUNDS rounds, fresh each iteration.
+        group.bench_with_input(BenchmarkId::new("full_execution", n), &n, |b, _| {
+            b.iter(|| {
+                let mut sim = Simulation::new(
+                    &g,
+                    &[],
+                    |_, _| Chatter(0),
+                    NullAdversary,
+                    SimConfig {
+                        max_rounds: ROUNDS,
+                        ..chatter_config(false)
+                    },
+                );
+                sim.run()
+            });
+        });
+
+        // The steady-state hot path: one long-lived simulation, buffers
+        // warmed, stepped ROUNDS more rounds per iteration.
+        let mut sim = Simulation::new(
+            &g,
+            &[],
+            |_, _| Chatter(0),
+            NullAdversary,
+            chatter_config(false),
         );
+        for _ in 0..10 {
+            sim.step();
+        }
+        group.bench_with_input(BenchmarkId::new("reuse_buffers", n), &n, |b, _| {
+            b.iter(|| {
+                for _ in 0..ROUNDS {
+                    sim.step();
+                }
+                sim.round()
+            });
+        });
+
+        #[cfg(feature = "parallel")]
+        {
+            let mut psim = Simulation::new(
+                &g,
+                &[],
+                |_, _| Chatter(0),
+                NullAdversary,
+                chatter_config(true),
+            );
+            for _ in 0..10 {
+                psim.step();
+            }
+            group.bench_with_input(BenchmarkId::new("reuse_buffers_parallel", n), &n, |b, _| {
+                b.iter(|| {
+                    for _ in 0..ROUNDS {
+                        psim.step();
+                    }
+                    psim.round()
+                });
+            });
+        }
     }
     group.finish();
 }

@@ -4,9 +4,9 @@
 use bcount_graph::analysis::treelike::{tree_like_count, tree_like_radius};
 use bcount_graph::gen::{configuration_model, hnd, watts_strogatz};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
 
 fn bench_generators(c: &mut Criterion) {
     let mut group = c.benchmark_group("graph_gen");

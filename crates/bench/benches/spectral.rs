@@ -5,9 +5,9 @@
 use bcount_graph::analysis::spectral::{min_sweep_expansion, spectral_gap};
 use bcount_graph::gen::hnd;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
 
 fn bench_spectral(c: &mut Criterion) {
     let mut group = c.benchmark_group("spectral");

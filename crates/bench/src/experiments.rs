@@ -67,10 +67,20 @@ pub fn e1(quick: bool) -> Table {
     let mut t = Table::new(
         "E1: Theorem 1 — LOCAL coverage under n^(1-gamma) Byzantine nodes (fake-expander attack)",
         &[
-            "n", "B(n)", "adversary", "decided", "far in-band", "median L/ln n", "rounds",
+            "n",
+            "B(n)",
+            "adversary",
+            "decided",
+            "far in-band",
+            "median L/ln n",
+            "rounds",
         ],
     );
-    let sizes: &[usize] = if quick { &[64, 128] } else { &[64, 128, 256, 512] };
+    let sizes: &[usize] = if quick {
+        &[64, 128]
+    } else {
+        &[64, 128, 256, 512]
+    };
     let gamma = 0.7;
     for &n in sizes {
         let g = network(n, D, 1000 + n as u64);
@@ -221,7 +231,11 @@ pub fn e4(quick: bool) -> Table {
         &["n", "B", "p95 decision round", "all-decided rounds"],
     );
     let n = if quick { 128 } else { 512 };
-    let budgets: &[usize] = if quick { &[0, 4] } else { &[0, 2, 4, 8, 16, 32] };
+    let budgets: &[usize] = if quick {
+        &[0, 4]
+    } else {
+        &[0, 2, 4, 8, 16, 32]
+    };
     let params = CongestParams::default();
     let g = network(n, D, 4000);
     for &b in budgets {
@@ -279,14 +293,7 @@ pub fn e5(quick: bool) -> Table {
         // O(log n)-bit phrasing vs its own path fields).
         let limit = (((n as f64).ln() / (D as f64).ln()).ceil() as u64 + 6) * 64 + 2;
         let benign = run_congest(&g, &[], params, NullAdversary, 5, 8_000);
-        let spam = run_congest(
-            &g,
-            &byz,
-            params,
-            BeaconSpamAdversary::new(params),
-            5,
-            8_000,
-        );
+        let spam = run_congest(&g, &byz, params, BeaconSpamAdversary::new(params), 5, 8_000);
         for (name, report) in [("CONGEST benign", &benign), ("CONGEST spam", &spam)] {
             let honest: Vec<usize> = report.honest_nodes().collect();
             let maxes: Vec<f64> = honest
@@ -522,8 +529,14 @@ pub fn e9(quick: bool) -> Table {
         t.push_row(vec![
             "geometric-max".into(),
             format!("log2 n = {:.2}", (n as f64).log2()),
-            benign.outputs[1].map(f64::from).map(fmt).unwrap_or_default(),
-            attacked.outputs[1].map(f64::from).map(fmt).unwrap_or_default(),
+            benign.outputs[1]
+                .map(f64::from)
+                .map(fmt)
+                .unwrap_or_default(),
+            attacked.outputs[1]
+                .map(f64::from)
+                .map(fmt)
+                .unwrap_or_default(),
         ]);
     }
     // Support estimation (reports ~n).
@@ -575,7 +588,9 @@ pub fn e9(quick: bool) -> Table {
             "convergecast".into(),
             format!("n = {n}"),
             benign.outputs[0].map(|v| v.to_string()).unwrap_or_default(),
-            attacked.outputs[0].map(|v| v.to_string()).unwrap_or_default(),
+            attacked.outputs[0]
+                .map(|v| v.to_string())
+                .unwrap_or_default(),
         ]);
     }
     // Birthday-paradox estimator (reports ~n).
@@ -659,9 +674,7 @@ pub fn e10(quick: bool) -> Table {
         let mut sim = Simulation::new(
             &g,
             &byz,
-            |u, _| {
-                AgreementProtocol::new(AgreementParams::default(), inputs[u.index()], oracle)
-            },
+            |u, _| AgreementProtocol::new(AgreementParams::default(), inputs[u.index()], oracle),
             NullAdversary,
             SimConfig {
                 seed: 19,
@@ -675,11 +688,7 @@ pub fn e10(quick: bool) -> Table {
         let honest: Vec<usize> = oracle_report.honest_nodes().collect();
         honest
             .iter()
-            .filter(|&&u| {
-                oracle_report.outputs[u]
-                    .map(|o| o.value)
-                    .unwrap_or(false)
-            })
+            .filter(|&&u| oracle_report.outputs[u].map(|o| o.value).unwrap_or(false))
             .count() as f64
             / honest.len() as f64
     };
@@ -721,9 +730,11 @@ pub fn e11(quick: bool) -> Table {
     let g = network(n, D, 11_000);
     let byz = spread_byzantine(n, 2);
     for blacklisting in [true, false] {
-        let mut params = CongestParams::default();
-        params.blacklisting = blacklisting;
-        params.max_phase = 10;
+        let params = CongestParams {
+            blacklisting,
+            max_phase: 10,
+            ..CongestParams::default()
+        };
         let report = run_congest(
             &g,
             &byz,
@@ -741,12 +752,7 @@ pub fn e11(quick: bool) -> Table {
             .outputs
             .iter()
             .flatten()
-            .filter(|e| {
-                matches!(
-                    e.trigger,
-                    bcount_core::congest::CongestTrigger::Horizon
-                )
-            })
+            .filter(|e| matches!(e.trigger, bcount_core::congest::CongestTrigger::Horizon))
             .count();
         t.push_row(vec![
             n.to_string(),
@@ -942,9 +948,12 @@ pub fn e14(quick: bool) -> Table {
     t
 }
 
+/// One experiment entry point: takes the `quick` flag, returns a table.
+type Experiment = fn(bool) -> Table;
+
 /// Runs the named experiment, or all of them.
 pub fn run(which: &str, quick: bool) -> Vec<Table> {
-    let all: Vec<(&str, fn(bool) -> Table)> = vec![
+    let all: Vec<(&str, Experiment)> = vec![
         ("e1", e1),
         ("e2", e2),
         ("e3", e3),

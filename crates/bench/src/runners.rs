@@ -22,7 +22,9 @@ pub fn spread_byzantine(n: usize, count: usize) -> Vec<NodeId> {
         return Vec::new();
     }
     let stride = (n / count).max(1);
-    (0..count).map(|k| NodeId(((k * stride) % n) as u32)).collect()
+    (0..count)
+        .map(|k| NodeId(((k * stride) % n) as u32))
+        .collect()
 }
 
 /// The Byzantine budget of Theorem 2: `B(n) = n^{1/2 − ξ}`.
@@ -95,11 +97,7 @@ pub fn far_honest_nodes(g: &Graph, byz: &[NodeId], min_dist: u32) -> Vec<usize> 
     };
     (0..g.len())
         .filter(|&u| !is_byz[u])
-        .filter(|&u| {
-            dists
-                .iter()
-                .all(|d| d[u].unwrap_or(u32::MAX) >= min_dist)
-        })
+        .filter(|&u| dists.iter().all(|d| d[u].unwrap_or(u32::MAX) >= min_dist))
         .collect()
 }
 

@@ -49,8 +49,7 @@ impl Adversary<CongestCounting> for BeaconSpamAdversary {
                 // Fabricate a plausible-length path of phantom IDs ending
                 // in our own (unfakeable) identity.
                 let prefix_len = pos.offset as usize;
-                let mut path: Vec<Pid> =
-                    (0..prefix_len).map(|_| Pid(ctx.rng().gen())).collect();
+                let mut path: Vec<Pid> = (0..prefix_len).map(|_| Pid(ctx.rng().gen())).collect();
                 path.push(view.pid(b));
                 ctx.broadcast(b, CongestMsg::Beacon { path });
             }
@@ -149,7 +148,7 @@ impl Adversary<CongestCounting> for OscillatingSpamAdversary {
         ctx: &mut ByzantineContext<'_, CongestMsg>,
     ) {
         let pos = self.clock.locate(view.round());
-        if pos.phase % 2 == 0 {
+        if pos.phase.is_multiple_of(2) {
             self.inner.on_round(view, ctx);
         }
     }
@@ -175,7 +174,10 @@ mod tests {
         params: CongestParams,
         seed: u64,
         max_rounds: u64,
-    ) -> (SimReport<crate::congest::CongestEstimate>, bcount_graph::Graph) {
+    ) -> (
+        SimReport<crate::congest::CongestEstimate>,
+        bcount_graph::Graph,
+    ) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let g = hnd(n, d, &mut rng).unwrap();
         let mut sim = Simulation::new(
@@ -213,9 +215,7 @@ mod tests {
         let d1 = distances(&g, byz[1]);
         let far: Vec<usize> = report
             .honest_nodes()
-            .filter(|&u| {
-                d0[u].unwrap_or(u32::MAX) >= 2 && d1[u].unwrap_or(u32::MAX) >= 2
-            })
+            .filter(|&u| d0[u].unwrap_or(u32::MAX) >= 2 && d1[u].unwrap_or(u32::MAX) >= 2)
             .collect();
         assert!(!far.is_empty());
         let est = EstimateReport::evaluate(
@@ -242,9 +242,11 @@ mod tests {
         // being accepted and estimates ride to the safety horizon.
         let n = 64;
         let d = 8;
-        let mut params = CongestParams::default();
-        params.blacklisting = false;
-        params.max_phase = 9;
+        let params = CongestParams {
+            blacklisting: false,
+            max_phase: 9,
+            ..CongestParams::default()
+        };
         let byz = [NodeId(0)];
         let (ablated, _) = run_with(
             n,
@@ -300,9 +302,7 @@ mod tests {
         let d1 = distances(&g, byz[1]);
         let far: Vec<usize> = report
             .honest_nodes()
-            .filter(|&u| {
-                d0[u].unwrap_or(u32::MAX) >= 2 && d1[u].unwrap_or(u32::MAX) >= 2
-            })
+            .filter(|&u| d0[u].unwrap_or(u32::MAX) >= 2 && d1[u].unwrap_or(u32::MAX) >= 2)
             .collect();
         let est = EstimateReport::evaluate(
             n,

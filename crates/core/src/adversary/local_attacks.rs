@@ -72,8 +72,8 @@ impl FakeExpanderAdversary {
             let n = view.graph().len();
             let m = (self.fake_multiplier * n).max(self.d_fake + 2).max(8);
             let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
-            let fake_graph = hnd(m, self.d_fake.max(2), &mut rng)
-                .expect("phantom world parameters are valid");
+            let fake_graph =
+                hnd(m, self.d_fake.max(2), &mut rng).expect("phantom world parameters are valid");
             let fake_pids: Vec<Pid> = (0..m).map(|_| Pid(rng.gen())).collect();
             let byz: Vec<NodeId> = view.byzantine_nodes().collect();
             let mut entries = HashMap::new();
@@ -139,10 +139,7 @@ impl Adversary<LocalCounting> for FakeExpanderAdversary {
         for &b in &byz {
             let mut fake_view: TopologyView<Pid> = TopologyView::new();
             // b's own announcement: true honest edges + phantom entries.
-            let mut b_edges: Vec<Pid> = graph
-                .neighbors(b)
-                .map(|w| pids[w.index()])
-                .collect();
+            let mut b_edges: Vec<Pid> = graph.neighbors(b).map(|w| pids[w.index()]).collect();
             b_edges.sort_unstable();
             b_edges.dedup();
             let entry_nodes = &world.entries[&b];
@@ -244,7 +241,9 @@ mod tests {
     ) -> (SimReport<crate::local::LocalEstimate>, Graph, Vec<NodeId>) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let g = hnd(n, d, &mut rng).unwrap();
-        let byz: Vec<NodeId> = (0..n_byz).map(|k| NodeId((k * (n / n_byz.max(1))) as u32)).collect();
+        let byz: Vec<NodeId> = (0..n_byz)
+            .map(|k| NodeId((k * (n / n_byz.max(1))) as u32))
+            .collect();
         let mut sim = Simulation::new(
             &g,
             &byz,

@@ -197,17 +197,26 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_combinations() {
-        let mut p = CongestParams::default();
-        p.gamma = 0.3; // < 0.5 - 0.1 + 0.05
-        assert!(p.validate().is_err());
-        p = CongestParams::default();
-        p.delta = 0.9;
-        assert!(p.validate().is_err());
-        p = CongestParams::default();
-        p.c1 = 0.0;
-        assert!(p.validate().is_err());
-        p = CongestParams::default();
-        p.eta = -1.0;
-        assert!(p.validate().is_err());
+        let bad = [
+            CongestParams {
+                gamma: 0.3, // < 0.5 - 0.1 + 0.05
+                ..CongestParams::default()
+            },
+            CongestParams {
+                delta: 0.9,
+                ..CongestParams::default()
+            },
+            CongestParams {
+                c1: 0.0,
+                ..CongestParams::default()
+            },
+            CongestParams {
+                eta: -1.0,
+                ..CongestParams::default()
+            },
+        ];
+        for p in bad {
+            assert!(p.validate().is_err());
+        }
     }
 }

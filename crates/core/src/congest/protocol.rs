@@ -129,7 +129,9 @@ impl CongestCounting {
         }
         let suffix = self.params.trusted_suffix_len(self.degree.max(2), phase);
         let prefix_len = path.len().saturating_sub(suffix);
-        path[..prefix_len].iter().all(|p| !self.blacklist.contains(p))
+        path[..prefix_len]
+            .iter()
+            .all(|p| !self.blacklist.contains(p))
     }
 
     /// End-of-beacon-window bookkeeping (Lines 27–32): decide if no
@@ -141,7 +143,9 @@ impl CongestCounting {
         }
         if self.params.blacklisting {
             if let Some(path) = &self.shortest_path {
-                let suffix = self.params.trusted_suffix_len(self.degree.max(2), pos.phase);
+                let suffix = self
+                    .params
+                    .trusted_suffix_len(self.degree.max(2), pos.phase);
                 let prefix_len = path.len().saturating_sub(suffix);
                 self.blacklist.extend(path[..prefix_len].iter().copied());
             }
@@ -198,9 +202,7 @@ impl Protocol for CongestCounting {
                 .inbox()
                 .iter()
                 .filter_map(|env| match &env.msg {
-                    CongestMsg::Beacon { path }
-                        if Self::beacon_is_valid(path, env.sender, i) =>
-                    {
+                    CongestMsg::Beacon { path } if Self::beacon_is_valid(path, env.sender, i) => {
                         Some((env.sender, path.clone()))
                     }
                     _ => None,
@@ -246,8 +248,7 @@ impl Protocol for CongestCounting {
                 ctx.broadcast(CongestMsg::Continue);
             }
         }
-        if pos.is_iteration_end(&self.params) && self.decided.is_some() && !self.heard_continue
-        {
+        if pos.is_iteration_end(&self.params) && self.decided.is_some() && !self.heard_continue {
             // Line 38–39: decided and no liveness signal — exit for good.
             self.exited = true;
         }

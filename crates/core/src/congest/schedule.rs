@@ -133,7 +133,8 @@ impl PhaseClock {
             let k = self.phase_starts.len() - 1;
             let last_start = *self.phase_starts.last().expect("nonempty");
             let last_phase = first + k as u32;
-            self.phase_starts.push(last_start + self.phase_len(last_phase));
+            self.phase_starts
+                .push(last_start + self.phase_len(last_phase));
         }
         self.phase_starts[(phase - first) as usize]
     }

@@ -97,11 +97,7 @@ impl CheckOutcome {
 ///
 /// `me` must be an announced node of the view (a node always announces
 /// itself in round 1).
-pub fn run_expansion_checks(
-    view: &TopologyView<Pid>,
-    me: Pid,
-    cfg: &LocalConfig,
-) -> CheckOutcome {
+pub fn run_expansion_checks(view: &TopologyView<Pid>, me: Pid, cfg: &LocalConfig) -> CheckOutcome {
     if !cfg.expansion_check {
         return CheckOutcome::Pass;
     }

@@ -131,12 +131,11 @@ impl Protocol for LocalCounting {
         // degree anomaly is the `inconsistent` predicate firing.
         for env in ctx.inbox() {
             if env.msg.0.max_claimed_degree() > self.cfg.max_degree
-                || env.msg.0.nodes().any(|p| {
-                    env.msg
-                        .0
-                        .announced_edges(p)
-                        .is_some_and(|e| e.contains(&p))
-                })
+                || env
+                    .msg
+                    .0
+                    .nodes()
+                    .any(|p| env.msg.0.announced_edges(p).is_some_and(|e| e.contains(&p)))
             {
                 self.decide(r, LocalTrigger::Inconsistency);
                 return;

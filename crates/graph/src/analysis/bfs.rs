@@ -41,9 +41,7 @@ pub fn ball(g: &Graph, u: NodeId, r: u32) -> Vec<NodeId> {
 /// The exact-distance boundary `D(u, r)`: nodes at distance exactly `r`.
 pub fn boundary(g: &Graph, u: NodeId, r: u32) -> Vec<NodeId> {
     let dist = distances(g, u);
-    g.nodes()
-        .filter(|v| dist[v.index()] == Some(r))
-        .collect()
+    g.nodes().filter(|v| dist[v.index()] == Some(r)).collect()
 }
 
 /// Eccentricity of `u`: max distance to any reachable node, or `None` if

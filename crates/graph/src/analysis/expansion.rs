@@ -50,7 +50,7 @@ pub fn set_vertex_expansion(g: &Graph, set: &[NodeId]) -> f64 {
 /// fewer than 2 nodes (no admissible subset exists).
 pub fn vertex_expansion_exact(g: &Graph) -> Option<f64> {
     let n = g.len();
-    if n < 2 || n > EXACT_EXPANSION_LIMIT {
+    if !(2..=EXACT_EXPANSION_LIMIT).contains(&n) {
         return None;
     }
     let half = n / 2;

@@ -122,11 +122,7 @@ fn second_eigenpair(g: &Graph, iters: usize) -> (f64, Vec<f64>) {
     lazy_matvec(g, &deg_isqrt, &x, &mut y);
     let rq: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
     lambda = if rq.is_finite() { rq } else { lambda };
-    let embedding: Vec<f64> = x
-        .iter()
-        .zip(&deg_isqrt)
-        .map(|(v, s)| v * s)
-        .collect();
+    let embedding: Vec<f64> = x.iter().zip(&deg_isqrt).map(|(v, s)| v * s).collect();
     (lambda.clamp(0.0, 1.0), embedding)
 }
 
@@ -232,7 +228,7 @@ pub fn sweep_over_order(g: &Graph, order: &[NodeId]) -> Option<SweepCut> {
         } else {
             (boundary_in as f64 / (n - prefix_len) as f64, false)
         };
-        if best.map_or(true, |(bh, _, _)| h < bh) {
+        if best.is_none_or(|(bh, _, _)| h < bh) {
             best = Some((h, prefix_len, use_prefix));
         }
     }
@@ -281,7 +277,7 @@ pub fn sweep_prefix_expansion(g: &Graph, order: &[NodeId]) -> Option<SweepCut> {
             }
         }
         let h = out_size as f64 / (k + 1) as f64;
-        if best.map_or(true, |(bh, _)| h < bh) {
+        if best.is_none_or(|(bh, _)| h < bh) {
             best = Some((h, k + 1));
         }
     }

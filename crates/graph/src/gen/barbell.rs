@@ -17,10 +17,7 @@ use crate::{Graph, GraphBuilder, GraphError, NodeId};
 /// [`GraphError::TooFewNodes`] if `clique < 2`.
 pub fn barbell(clique: usize, bridge: usize) -> Result<Graph, GraphError> {
     if clique < 2 {
-        return Err(GraphError::TooFewNodes {
-            n: clique,
-            min: 2,
-        });
+        return Err(GraphError::TooFewNodes { n: clique, min: 2 });
     }
     let n = 2 * clique + bridge;
     let mut b = GraphBuilder::new(n);
@@ -65,10 +62,7 @@ pub fn bridged_expanders<R: Rng + ?Sized>(
         builder.add_edge(u, v);
     }
     for (u, v) in b.edges() {
-        builder.add_edge(
-            NodeId(u.0 + m as u32),
-            NodeId(v.0 + m as u32),
-        );
+        builder.add_edge(NodeId(u.0 + m as u32), NodeId(v.0 + m as u32));
     }
     builder.add_edge(NodeId((m - 1) as u32), NodeId(m as u32));
     Ok(builder.build())

@@ -35,14 +35,14 @@ pub fn configuration_model<R: Rng + ?Sized>(
             requirement: "degree must be positive",
         });
     }
-    if n * d % 2 != 0 {
+    if !(n * d).is_multiple_of(2) {
         return Err(GraphError::InvalidDegree {
             d,
             requirement: "n*d must be even for a perfect matching on stubs",
         });
     }
     let mut stubs: Vec<NodeId> = (0..n as u32)
-        .flat_map(|u| std::iter::repeat(NodeId(u)).take(d))
+        .flat_map(|u| std::iter::repeat_n(NodeId(u), d))
         .collect();
     stubs.shuffle(rng);
     let mut b = GraphBuilder::new(n);

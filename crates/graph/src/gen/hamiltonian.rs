@@ -39,7 +39,7 @@ use crate::{Graph, GraphBuilder, GraphError, NodeId};
 /// # }
 /// ```
 pub fn hnd<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Result<Graph, GraphError> {
-    if d == 0 || d % 2 != 0 {
+    if d == 0 || !d.is_multiple_of(2) {
         return Err(GraphError::InvalidDegree {
             d,
             requirement: "H(n,d) requires a positive even degree",

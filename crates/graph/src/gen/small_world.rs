@@ -49,8 +49,7 @@ pub fn watts_strogatz<R: Rng + ?Sized>(
         return Err(GraphError::InvalidProbability { p });
     }
     // Adjacency set tracking to avoid duplicates during rewiring.
-    let mut adj: Vec<std::collections::BTreeSet<u32>> =
-        vec![std::collections::BTreeSet::new(); n];
+    let mut adj: Vec<std::collections::BTreeSet<u32>> = vec![std::collections::BTreeSet::new(); n];
     let add = |adj: &mut Vec<std::collections::BTreeSet<u32>>, u: usize, v: usize| {
         adj[u].insert(v as u32);
         adj[v].insert(u as u32);

@@ -133,7 +133,10 @@ impl Graph {
         }
         // Each self-loop contributes 2 entries under the handshake
         // convention used by the builder; each normal edge contributes 2.
-        debug_assert!(loops % 2 == 0, "self-loops must contribute 2 CSR slots");
+        debug_assert!(
+            loops.is_multiple_of(2),
+            "self-loops must contribute 2 CSR slots"
+        );
         (self.neighbors.len() - loops) / 2 + loops / 2
     }
 
@@ -241,7 +244,7 @@ impl Graph {
                 if new_id[v.index()] != u32::MAX {
                     // Emit each undirected edge once: from the endpoint with
                     // the smaller *original* id (self-loops from even slots).
-                    if u < v || (u == v) {
+                    if u <= v {
                         if u == v {
                             continue; // handled below to avoid double-count
                         }

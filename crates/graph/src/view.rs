@@ -321,10 +321,7 @@ mod tests {
         v.announce(0, [1]).unwrap();
         assert!(v.announce(0, [1]).is_ok());
         let err = v.announce(0, [1, 2]).unwrap_err();
-        assert_eq!(
-            err,
-            ViewInconsistency::ConflictingAnnouncement { node: 0 }
-        );
+        assert_eq!(err, ViewInconsistency::ConflictingAnnouncement { node: 0 });
     }
 
     #[test]

@@ -24,17 +24,23 @@
 use bcount_graph::{Graph, NodeId};
 use rand_chacha::ChaCha8Rng;
 
-use crate::idspace::Pid;
+use crate::idspace::{Pid, PidIndex};
 use crate::message::Envelope;
 use crate::protocol::Protocol;
 
 /// Everything the adversary can observe in a round (full information).
+///
+/// All fields borrow the engine's own state — building the view each
+/// round allocates nothing.
 pub struct FullInfoView<'a, P: Protocol> {
     pub(crate) round: u64,
     pub(crate) graph: &'a Graph,
     pub(crate) pids: &'a [Pid],
+    pub(crate) pid_index: &'a PidIndex,
     pub(crate) is_byzantine: &'a [bool],
-    pub(crate) honest_states: Vec<Option<&'a P>>,
+    /// Honest protocol states, indexed by graph node (`None` at Byzantine
+    /// slots).
+    pub(crate) honest_states: &'a [Option<P>],
     /// Messages honest nodes are sending *this* round, (from, to, msg),
     /// observable before the adversary commits (rushing).
     pub(crate) honest_outgoing: &'a [(NodeId, NodeId, P::Message)],
@@ -59,12 +65,10 @@ impl<'a, P: Protocol> FullInfoView<'a, P> {
         self.pids[u.index()]
     }
 
-    /// Reverse lookup of a [`Pid`] to its graph node, if it exists.
+    /// Reverse lookup of a [`Pid`] to its graph node, if it exists
+    /// (binary search on the engine's dense [`PidIndex`]).
     pub fn node_of(&self, pid: Pid) -> Option<NodeId> {
-        self.pids
-            .iter()
-            .position(|&p| p == pid)
-            .map(NodeId::from)
+        self.pid_index.node_of(pid)
     }
 
     /// Whether `u` is Byzantine.
@@ -83,7 +87,7 @@ impl<'a, P: Protocol> FullInfoView<'a, P> {
     /// Full state of the honest protocol at `u`, or `None` if `u` is
     /// Byzantine or already halted-and-dropped.
     pub fn honest_state(&self, u: NodeId) -> Option<&'a P> {
-        self.honest_states.get(u.index()).copied().flatten()
+        self.honest_states.get(u.index()).and_then(Option::as_ref)
     }
 
     /// The messages honest nodes are sending this round, visible before
@@ -101,11 +105,15 @@ impl<'a, P: Protocol> FullInfoView<'a, P> {
 }
 
 /// Outgoing-message sink for the Byzantine nodes.
+///
+/// The sink borrows a persistent scratch buffer owned by the engine
+/// (drained each round with its capacity kept), mirroring the honest
+/// nodes' zero-alloc outboxes.
 pub struct ByzantineContext<'a, M> {
     pub(crate) graph: &'a Graph,
     pub(crate) is_byzantine: &'a [bool],
     pub(crate) rng: &'a mut ChaCha8Rng,
-    pub(crate) outgoing: Vec<(NodeId, NodeId, M)>,
+    pub(crate) outgoing: &'a mut Vec<(NodeId, NodeId, M)>,
 }
 
 impl<'a, M: Clone> ByzantineContext<'a, M> {
@@ -191,11 +199,12 @@ mod tests {
         let g = cycle(4).unwrap();
         let is_byz = vec![false, true, false, false];
         let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut out = Vec::new();
         let mut ctx: ByzantineContext<'_, ()> = ByzantineContext {
             graph: &g,
             is_byzantine: &is_byz,
             rng: &mut rng,
-            outgoing: Vec::new(),
+            outgoing: &mut out,
         };
         ctx.send(NodeId(0), NodeId(1), ());
     }
@@ -206,11 +215,12 @@ mod tests {
         let g = cycle(4).unwrap();
         let is_byz = vec![false, true, false, false];
         let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut out = Vec::new();
         let mut ctx: ByzantineContext<'_, ()> = ByzantineContext {
             graph: &g,
             is_byzantine: &is_byz,
             rng: &mut rng,
-            outgoing: Vec::new(),
+            outgoing: &mut out,
         };
         ctx.send(NodeId(1), NodeId(3), ());
     }
@@ -220,15 +230,16 @@ mod tests {
         let g = cycle(4).unwrap();
         let is_byz = vec![false, true, false, false];
         let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut out = Vec::new();
         let mut ctx: ByzantineContext<'_, u32> = ByzantineContext {
             graph: &g,
             is_byzantine: &is_byz,
             rng: &mut rng,
-            outgoing: Vec::new(),
+            outgoing: &mut out,
         };
         ctx.broadcast(NodeId(1), 5);
         assert_eq!(
-            ctx.outgoing,
+            out,
             vec![(NodeId(1), NodeId(0), 5), (NodeId(1), NodeId(2), 5)]
         );
     }

@@ -7,6 +7,7 @@
 //! sampling distinct uniform 64-bit identifiers: whatever `n` is, IDs look
 //! the same, so protocols cannot deduce `n` from ID lengths or density.
 
+use bcount_graph::NodeId;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -39,6 +40,50 @@ pub fn assign_pids<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<Pid> {
     out
 }
 
+/// A dense `Pid → NodeId` reverse index: a flat array of pairs sorted by
+/// [`Pid`], resolved by binary search.
+///
+/// This sits on the engine's delivery hot path (every honest message's
+/// destination pid is resolved through it once per round), where the flat
+/// sorted layout beats a `HashMap`: no hashing, no pointer chasing, and
+/// the whole index for a 10⁶-node network fits in a few MB of contiguous,
+/// prefetch-friendly memory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PidIndex {
+    entries: Vec<(Pid, NodeId)>,
+}
+
+impl PidIndex {
+    /// Builds the index for `pids`, where position `i` is graph node `i`.
+    pub fn new(pids: &[Pid]) -> Self {
+        let mut entries: Vec<(Pid, NodeId)> = pids
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, NodeId(i as u32)))
+            .collect();
+        entries.sort_unstable_by_key(|&(p, _)| p);
+        PidIndex { entries }
+    }
+
+    /// The graph node owning `pid`, if any.
+    pub fn node_of(&self, pid: Pid) -> Option<NodeId> {
+        self.entries
+            .binary_search_by_key(&pid, |&(p, _)| p)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// Number of indexed identities.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -60,5 +105,28 @@ mod tests {
     fn display_is_fixed_width() {
         let s = Pid(0xAB).to_string();
         assert_eq!(s, "#00000000000000ab");
+    }
+
+    #[test]
+    fn pid_index_resolves_every_assigned_pid() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let pids = assign_pids(257, &mut rng);
+        let index = PidIndex::new(&pids);
+        assert_eq!(index.len(), 257);
+        for (i, &p) in pids.iter().enumerate() {
+            assert_eq!(index.node_of(p), Some(NodeId(i as u32)));
+        }
+    }
+
+    #[test]
+    fn pid_index_rejects_unknown_pids() {
+        let pids = [Pid(10), Pid(30), Pid(20)];
+        let index = PidIndex::new(&pids);
+        assert_eq!(index.node_of(Pid(10)), Some(NodeId(0)));
+        assert_eq!(index.node_of(Pid(20)), Some(NodeId(2)));
+        assert_eq!(index.node_of(Pid(30)), Some(NodeId(1)));
+        assert_eq!(index.node_of(Pid(11)), None);
+        assert!(!index.is_empty());
+        assert!(PidIndex::default().is_empty());
     }
 }

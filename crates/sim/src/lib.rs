@@ -64,8 +64,10 @@ pub mod protocol;
 pub mod trace;
 
 pub use adversary::{Adversary, ByzantineContext, FullInfoView, NullAdversary};
-pub use engine::{NodeInit, SimConfig, SimReport, Simulation, StopReason, StopWhen};
-pub use idspace::Pid;
+pub use engine::{
+    NodeInit, PhaseSend, PhaseShared, SimConfig, SimReport, Simulation, StopReason, StopWhen,
+};
+pub use idspace::{Pid, PidIndex};
 pub use message::{Envelope, MessageSize};
 pub use metrics::{Metrics, NodeMetrics};
 pub use protocol::{NodeContext, Protocol};
@@ -74,8 +76,10 @@ pub use trace::{validate_trace, RoundTrace};
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::adversary::{Adversary, ByzantineContext, FullInfoView, NullAdversary};
-    pub use crate::engine::{NodeInit, SimConfig, SimReport, Simulation, StopReason, StopWhen};
-    pub use crate::idspace::Pid;
+    pub use crate::engine::{
+        NodeInit, PhaseSend, PhaseShared, SimConfig, SimReport, Simulation, StopReason, StopWhen,
+    };
+    pub use crate::idspace::{Pid, PidIndex};
     pub use crate::message::{Envelope, MessageSize};
     pub use crate::metrics::{Metrics, NodeMetrics};
     pub use crate::protocol::{NodeContext, Protocol};

@@ -33,6 +33,13 @@ impl MessageSize for () {
     }
 }
 
+impl MessageSize for Pid {
+    /// A bare [`Pid`] message occupies exactly one modelled node ID.
+    fn size_bits(&self, id_bits: u32) -> u64 {
+        u64::from(id_bits)
+    }
+}
+
 impl<M: MessageSize> MessageSize for Envelope<M> {
     fn size_bits(&self, id_bits: u32) -> u64 {
         u64::from(id_bits) + self.msg.size_bits(id_bits)
@@ -56,5 +63,11 @@ mod tests {
         };
         assert_eq!(e.size_bits(64), 65);
         assert_eq!(e.size_bits(32), 33);
+    }
+
+    #[test]
+    fn pid_messages_cost_one_id() {
+        assert_eq!(Pid(7).size_bits(64), 64);
+        assert_eq!(Pid(7).size_bits(20), 20);
     }
 }

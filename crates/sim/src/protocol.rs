@@ -42,6 +42,11 @@ pub trait Protocol {
 /// Provides the node's identity, its (authenticated) neighbour list, the
 /// round number, the inbox of last round's messages, deterministic
 /// randomness, and the send/broadcast primitives.
+///
+/// The outgoing sink is a *borrowed* per-node scratch buffer owned by the
+/// engine — sends append to it, and the engine drains it (keeping its
+/// capacity) in the deterministic merge step, so steady-state rounds
+/// allocate nothing.
 #[derive(Debug)]
 pub struct NodeContext<'a, M> {
     pub(crate) round: u64,
@@ -49,7 +54,7 @@ pub struct NodeContext<'a, M> {
     pub(crate) neighbors: &'a [Pid],
     pub(crate) inbox: &'a [Envelope<M>],
     pub(crate) rng: &'a mut ChaCha8Rng,
-    pub(crate) outgoing: Vec<(Pid, M)>,
+    pub(crate) outgoing: &'a mut Vec<(Pid, M)>,
 }
 
 impl<'a, M: Clone> NodeContext<'a, M> {
@@ -132,6 +137,7 @@ mod tests {
         neighbors: &'a [Pid],
         inbox: &'a [Envelope<u8>],
         rng: &'a mut ChaCha8Rng,
+        outgoing: &'a mut Vec<(Pid, u8)>,
     ) -> NodeContext<'a, u8> {
         NodeContext {
             round: 3,
@@ -139,7 +145,7 @@ mod tests {
             neighbors,
             inbox,
             rng,
-            outgoing: Vec::new(),
+            outgoing,
         }
     }
 
@@ -153,9 +159,10 @@ mod tests {
     fn broadcast_dedups_multi_edges() {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let neighbors = [Pid(1), Pid(1), Pid(2)];
-        let mut c = ctx(&neighbors, &[], &mut rng);
+        let mut out = Vec::new();
+        let mut c = ctx(&neighbors, &[], &mut rng, &mut out);
         c.broadcast(7);
-        assert_eq!(c.outgoing, vec![(Pid(1), 7), (Pid(2), 7)]);
+        assert_eq!(out, vec![(Pid(1), 7), (Pid(2), 7)]);
     }
 
     #[test]
@@ -166,7 +173,8 @@ mod tests {
             sender: Pid(1),
             msg: 9u8,
         }];
-        let c = ctx(&neighbors, &inbox, &mut rng);
+        let mut out = Vec::new();
+        let c = ctx(&neighbors, &inbox, &mut rng, &mut out);
         assert!(c.heard_from(Pid(1)));
         assert!(!c.heard_from(Pid(2)));
         assert_eq!(c.round(), 3);
@@ -179,7 +187,24 @@ mod tests {
     fn send_rejects_strangers() {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let neighbors = [Pid(1)];
-        let mut c = ctx(&neighbors, &[], &mut rng);
+        let mut out = Vec::new();
+        let mut c = ctx(&neighbors, &[], &mut rng, &mut out);
         c.send(Pid(9), 1);
+    }
+
+    #[test]
+    fn sends_reuse_the_borrowed_scratch_buffer() {
+        // The engine's zero-alloc contract: a drained buffer's capacity
+        // survives and is reused by the next round's context.
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let neighbors = [Pid(1), Pid(2), Pid(3)];
+        let mut out = Vec::new();
+        ctx(&neighbors, &[], &mut rng, &mut out).broadcast(1);
+        out.drain(..);
+        let cap = out.capacity();
+        assert!(cap >= 3);
+        ctx(&neighbors, &[], &mut rng, &mut out).broadcast(2);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.capacity(), cap);
     }
 }

@@ -1,0 +1,170 @@
+//! Determinism regression: the `parallel`-feature honest phase must
+//! produce **bit-identical** [`SimReport`]s to the serial path — same
+//! pids, rounds, metrics, outputs, decided rounds, halt flags, and stop
+//! reason — across seeds and topologies.
+//!
+//! Without the `parallel` feature the `SimConfig::parallel` flag is an
+//! ignored no-op, so this suite then degenerates to serial-vs-serial; run
+//! it with `cargo test -p bcount-sim --features parallel` (CI does) for
+//! the real cross-path comparison.
+
+use bcount_graph::gen::{cycle, hnd, torus2d};
+use bcount_graph::{Graph, NodeId};
+use bcount_sim::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Flood-max with per-round random jitter, so the test also proves the
+/// per-node RNG streams are split identically across both paths.
+#[derive(Debug, Clone)]
+struct JitterFlood {
+    best: Pid,
+    noise: u64,
+    rounds_left: u32,
+}
+
+impl Protocol for JitterFlood {
+    type Message = Pid;
+    type Output = u64;
+
+    fn on_round(&mut self, ctx: &mut NodeContext<'_, Pid>) {
+        let inbox_max = ctx.inbox().iter().map(|e| e.msg).max();
+        if let Some(m) = inbox_max {
+            if m > self.best {
+                self.best = m;
+            }
+        }
+        // Fold randomness into the state every round: any divergence in
+        // RNG scheduling between serial and parallel shows up here.
+        self.noise = self
+            .noise
+            .wrapping_mul(31)
+            .wrapping_add(rand::Rng::gen::<u64>(ctx.rng()));
+        let best = self.best;
+        ctx.broadcast(best);
+        self.rounds_left = self.rounds_left.saturating_sub(1);
+    }
+
+    fn output(&self) -> Option<u64> {
+        (self.rounds_left == 0).then_some(self.best.0 ^ self.noise)
+    }
+
+    fn has_halted(&self) -> bool {
+        self.rounds_left == 0
+    }
+}
+
+/// A rushing adversary with its own randomness, exercising the adversary
+/// RNG stream and the Byzantine delivery path.
+struct NoisyEcho;
+
+impl Adversary<JitterFlood> for NoisyEcho {
+    fn on_round(
+        &mut self,
+        view: &FullInfoView<'_, JitterFlood>,
+        ctx: &mut ByzantineContext<'_, Pid>,
+    ) {
+        if view.round() % 3 == 0 {
+            return;
+        }
+        let fake = Pid(rand::Rng::gen(ctx.rng()));
+        for b in view.byzantine_nodes() {
+            ctx.broadcast(b, fake);
+        }
+    }
+}
+
+fn run(g: &Graph, byz: &[NodeId], seed: u64, parallel: bool) -> SimReport<u64> {
+    let mut sim = Simulation::new(
+        g,
+        byz,
+        |_, init| JitterFlood {
+            best: init.pid,
+            noise: init.pid.0,
+            rounds_left: 40,
+        },
+        NoisyEcho,
+        SimConfig {
+            seed,
+            max_rounds: 60,
+            record_round_stats: true,
+            parallel,
+            ..SimConfig::default()
+        },
+    );
+    sim.run()
+}
+
+fn assert_identical(a: &SimReport<u64>, b: &SimReport<u64>) {
+    assert_eq!(a.pids, b.pids, "pid assignment diverged");
+    assert_eq!(a.rounds, b.rounds, "round count diverged");
+    assert_eq!(a.metrics, b.metrics, "metrics diverged");
+    assert_eq!(a.outputs, b.outputs, "outputs diverged");
+    assert_eq!(a.decided_round, b.decided_round, "decided rounds diverged");
+    assert_eq!(a.halted, b.halted, "halt flags diverged");
+    assert_eq!(a.is_byzantine, b.is_byzantine, "byzantine sets diverged");
+    assert_eq!(a.stop_reason, b.stop_reason, "stop reason diverged");
+}
+
+#[test]
+fn parallel_matches_serial_on_expanders() {
+    for seed in [1u64, 0xC0DE, 987_654_321] {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = hnd(192, 8, &mut rng).unwrap();
+        let byz = [NodeId(3), NodeId(77), NodeId(120)];
+        let serial = run(&g, &byz, seed, false);
+        let parallel = run(&g, &byz, seed, true);
+        assert_identical(&serial, &parallel);
+    }
+}
+
+#[test]
+fn parallel_matches_serial_on_cycles_and_tori() {
+    for (seed, g) in [
+        (7u64, cycle(257).unwrap()),
+        (8u64, torus2d(12, 11).unwrap()),
+        (9u64, cycle(3).unwrap()),
+    ] {
+        let byz = [NodeId(1)];
+        let serial = run(&g, &byz, seed, false);
+        let parallel = run(&g, &byz, seed, true);
+        assert_identical(&serial, &parallel);
+    }
+}
+
+#[test]
+fn parallel_matches_serial_without_byzantine_nodes() {
+    let g = cycle(100).unwrap();
+    let serial = run(&g, &[], 5, false);
+    let parallel = run(&g, &[], 5, true);
+    assert_identical(&serial, &parallel);
+}
+
+#[test]
+fn parallel_step_interleaves_with_serial_state_reads() {
+    // step()-level equivalence, not just end-to-end: every intermediate
+    // round agrees.
+    let g = cycle(64).unwrap();
+    let factory = |_: NodeId, init: &NodeInit| JitterFlood {
+        best: init.pid,
+        noise: init.pid.0,
+        rounds_left: 20,
+    };
+    let cfg = |parallel| SimConfig {
+        seed: 99,
+        max_rounds: 25,
+        parallel,
+        ..SimConfig::default()
+    };
+    let mut serial = Simulation::new(&g, &[NodeId(9)], factory, NoisyEcho, cfg(false));
+    let mut parallel = Simulation::new(&g, &[NodeId(9)], factory, NoisyEcho, cfg(true));
+    for _ in 0..20 {
+        serial.step();
+        parallel.step();
+        for u in 0..64 {
+            let s = serial.protocol(NodeId(u)).map(|p| (p.best, p.noise));
+            let p = parallel.protocol(NodeId(u)).map(|p| (p.best, p.noise));
+            assert_eq!(s, p, "node {u} state diverged at round {}", serial.round());
+        }
+    }
+}

@@ -39,7 +39,10 @@ fn main() {
     let g = hnd(n, d, &mut rng).expect("valid parameters");
     let byz: Vec<NodeId> = vec![NodeId(0), NodeId(43), NodeId(86)];
     let far = far_nodes(&g, &byz, 2);
-    println!("== Adversary gauntlet: n = {n}, d = {d}, |Byz| = {} ==", byz.len());
+    println!(
+        "== Adversary gauntlet: n = {n}, d = {d}, |Byz| = {} ==",
+        byz.len()
+    );
     println!("reporting far honest nodes (distance >= 2 from every Byzantine node)\n");
 
     // ---- Algorithm 1 (LOCAL). -----------------------------------------
@@ -57,9 +60,7 @@ fn main() {
             ..SimConfig::default()
         };
         let report = match adv {
-            "silent (crash)" => {
-                Simulation::new(&g, &byz, factory, NullAdversary, sim_cfg).run()
-            }
+            "silent (crash)" => Simulation::new(&g, &byz, factory, NullAdversary, sim_cfg).run(),
             "fake-expander" => Simulation::new(
                 &g,
                 &byz,
@@ -91,25 +92,13 @@ fn main() {
             ..SimConfig::default()
         };
         let report = match adv {
-            "silent (crash)" => {
-                Simulation::new(&g, &byz, factory, NullAdversary, sim_cfg).run()
+            "silent (crash)" => Simulation::new(&g, &byz, factory, NullAdversary, sim_cfg).run(),
+            "beacon-spam" => {
+                Simulation::new(&g, &byz, factory, BeaconSpamAdversary::new(params), sim_cfg).run()
             }
-            "beacon-spam" => Simulation::new(
-                &g,
-                &byz,
-                factory,
-                BeaconSpamAdversary::new(params),
-                sim_cfg,
-            )
-            .run(),
-            _ => Simulation::new(
-                &g,
-                &byz,
-                factory,
-                PathTamperAdversary::new(params),
-                sim_cfg,
-            )
-            .run(),
+            _ => {
+                Simulation::new(&g, &byz, factory, PathTamperAdversary::new(params), sim_cfg).run()
+            }
         };
         far.iter()
             .map(|&u| report.outputs[u].map(|e| f64::from(e.estimate)))

@@ -28,7 +28,9 @@ fn main() {
 
     let mut rng = ChaCha8Rng::seed_from_u64(1);
     let g = hnd(n, d, &mut rng).expect("valid parameters");
-    let byz: Vec<NodeId> = (0..n_byz).map(|k| NodeId((k * n / n_byz.max(1)) as u32)).collect();
+    let byz: Vec<NodeId> = (0..n_byz)
+        .map(|k| NodeId((k * n / n_byz.max(1)) as u32))
+        .collect();
     let inputs: Vec<bool> = (0..n).map(|u| u < majority).collect();
 
     // --- Phase 1 + 2: the pipeline. -----------------------------------
@@ -72,11 +74,7 @@ fn main() {
     let honest: Vec<usize> = oracle_report.honest_nodes().collect();
     let agree = honest
         .iter()
-        .filter(|&&u| {
-            oracle_report.outputs[u]
-                .map(|o| o.value)
-                .unwrap_or(false)
-        })
+        .filter(|&&u| oracle_report.outputs[u].map(|o| o.value).unwrap_or(false))
         .count();
     println!(
         "oracle agreement (log n given for free): {:.1}% of honest nodes",

@@ -17,8 +17,15 @@ fn main() {
     let d = 8;
     let n_byz = 8;
     println!("== Byzantine counting quickstart ==");
-    println!("network: H({n}, {d}) — {} honest, {n_byz} Byzantine", n - n_byz);
-    println!("truth:   ln n = {:.2}, log_d n = {:.2}\n", (n as f64).ln(), (n as f64).ln() / (d as f64).ln());
+    println!(
+        "network: H({n}, {d}) — {} honest, {n_byz} Byzantine",
+        n - n_byz
+    );
+    println!(
+        "truth:   ln n = {:.2}, log_d n = {:.2}\n",
+        (n as f64).ln(),
+        (n as f64).ln() / (d as f64).ln()
+    );
 
     let mut rng = ChaCha8Rng::seed_from_u64(42);
     let g = hnd(n, d, &mut rng).expect("valid parameters");
@@ -48,7 +55,10 @@ fn main() {
     }
     println!("decided estimates of log n (phase numbers):");
     for (estimate, count) in &histogram {
-        println!("  L = {estimate:>2}  x{count:<4} {}", "#".repeat(count / 4 + 1));
+        println!(
+            "  L = {estimate:>2}  x{count:<4} {}",
+            "#".repeat(count / 4 + 1)
+        );
     }
 
     let band = Band::new(0.15, 3.0);
@@ -59,8 +69,16 @@ fn main() {
             .map(|u| report.outputs[u].map(|e| f64::from(e.estimate))),
         band,
     );
-    println!("\ndecided:  {:5.1}% of honest nodes", 100.0 * er.decided_fraction());
-    println!("in band:  {:5.1}% within [{:.2}, {:.2}]·ln n", 100.0 * er.in_band_fraction(), band.lo, band.hi);
+    println!(
+        "\ndecided:  {:5.1}% of honest nodes",
+        100.0 * er.decided_fraction()
+    );
+    println!(
+        "in band:  {:5.1}% within [{:.2}, {:.2}]·ln n",
+        100.0 * er.in_band_fraction(),
+        band.lo,
+        band.hi
+    );
     println!("median L/ln n = {:.2}", er.median_ratio);
     println!("rounds:   {}", report.rounds);
     let honest: Vec<usize> = report.honest_nodes().collect();

@@ -190,7 +190,12 @@ fn congest_works_on_configuration_model_too() {
     );
     let report = sim.run();
     assert_eq!(report.honest_decided_count(), n);
-    let ests: Vec<u32> = report.outputs.iter().flatten().map(|e| e.estimate).collect();
+    let ests: Vec<u32> = report
+        .outputs
+        .iter()
+        .flatten()
+        .map(|e| e.estimate)
+        .collect();
     let lo = *ests.iter().min().unwrap();
     let hi = *ests.iter().max().unwrap();
     assert!(hi - lo <= 2, "benign estimates cluster: {lo}..{hi}");

@@ -26,7 +26,11 @@ fn congest_run(seed: u64) -> (u64, Vec<Option<u32>>) {
     let report = sim.run();
     (
         report.rounds,
-        report.outputs.iter().map(|o| o.map(|e| e.estimate)).collect(),
+        report
+            .outputs
+            .iter()
+            .map(|o| o.map(|e| e.estimate))
+            .collect(),
     )
 }
 

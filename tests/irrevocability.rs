@@ -30,11 +30,11 @@ fn congest_decisions_never_change() {
     let mut first: Vec<Option<CongestEstimate>> = vec![None; n];
     for _ in 0..1_500 {
         sim.step();
-        for u in 0..n {
+        for (u, slot) in first.iter_mut().enumerate() {
             if let Some(proto) = sim.protocol(NodeId(u as u32)) {
                 let out = proto.output();
-                match (first[u], out) {
-                    (None, Some(o)) => first[u] = Some(o),
+                match (*slot, out) {
+                    (None, Some(o)) => *slot = Some(o),
                     (Some(prev), Some(now)) => {
                         assert_eq!(prev, now, "node {u} changed its decision");
                     }
@@ -70,10 +70,10 @@ fn local_decisions_never_change() {
     let mut first: Vec<Option<LocalEstimate>> = vec![None; n];
     for _ in 0..60 {
         sim.step();
-        for u in 0..n {
+        for (u, slot) in first.iter_mut().enumerate() {
             if let Some(proto) = sim.protocol(NodeId(u as u32)) {
-                match (first[u], proto.output()) {
-                    (None, Some(o)) => first[u] = Some(o),
+                match (*slot, proto.output()) {
+                    (None, Some(o)) => *slot = Some(o),
                     (Some(prev), Some(now)) => {
                         assert_eq!(prev, now, "node {u} changed its decision");
                     }

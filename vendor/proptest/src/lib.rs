@@ -1,0 +1,162 @@
+//! Offline vendored mini-proptest.
+//!
+//! The build environment has no network access, so this crate reimplements
+//! the slice of the `proptest` API the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(..)]`, `name in
+//!   strategy` binders and `name: Type` (≡ `any::<Type>()`) binders,
+//! * [`Strategy`] with `prop_map`, range strategies for the primitive
+//!   numeric types, tuple strategies up to arity 6,
+//! * [`collection::vec`] and [`collection::btree_set`],
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
+//!   [`prop_assume!`].
+//!
+//! Case generation is deterministic (fixed-seed ChaCha8). **No shrinking**:
+//! a failing case reports its inputs but is not minimized. That trade-off
+//! keeps the vendored crate small; swap in crates.io `proptest` (edit the
+//! `vendor/` path entries in the workspace `Cargo.toml`) to get shrinking
+//! back.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares deterministic property tests.
+///
+/// Mirrors proptest's macro of the same name: an optional
+/// `#![proptest_config(expr)]` header followed by `#[test] fn` items whose
+/// parameters are either `pattern in strategy` or `name: Type` binders.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($items:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($items)* }
+    };
+    ($($items:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($items)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each test item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($args:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_case! { ($cfg, stringify!($name)) [] [] ($($args)*) $body }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: folds the binder list into one
+/// tuple strategy + tuple pattern, then runs the case loop.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // Terminal: all binders consumed.
+    ( ($cfg:expr, $name:expr) [$($pat:pat_param),*] [$($strat:expr),*] ($(,)?) $body:block ) => {{
+        let config: $crate::test_runner::ProptestConfig = $cfg;
+        let mut runner = $crate::test_runner::TestRunner::new(config);
+        let strategy = ($($strat,)*);
+        let outcome = runner.run($name, &strategy, |($($pat,)*)| {
+            $body
+            Ok(())
+        });
+        if let Err(message) = outcome {
+            panic!("{}", message);
+        }
+    }};
+    // `pattern in strategy` binder.
+    ( ($cfg:expr, $name:expr) [$($pat:pat_param),*] [$($strat:expr),*]
+      ($p:pat_param in $s:expr $(, $($rest:tt)*)?) $body:block ) => {
+        $crate::__proptest_case! {
+            ($cfg, $name) [$($pat,)* $p] [$($strat,)* $s] ($($($rest)*)?) $body
+        }
+    };
+    // `name: Type` binder (≡ `any::<Type>()`).
+    ( ($cfg:expr, $name:expr) [$($pat:pat_param),*] [$($strat:expr),*]
+      ($p:ident : $t:ty $(, $($rest:tt)*)?) $body:block ) => {
+        $crate::__proptest_case! {
+            ($cfg, $name) [$($pat,)* $p] [$($strat,)* $crate::strategy::any::<$t>()]
+            ($($($rest)*)?) $body
+        }
+    };
+}
+
+/// Asserts a condition inside a property test; a failure reports the
+/// current case's inputs and fails the test without shrinking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property test (values must be `Debug`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            lhs == rhs,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), lhs, rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(lhs == rhs) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)*), lhs, rhs
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property test (values must be `Debug`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            lhs != rhs,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($lhs),
+            stringify!($rhs),
+            lhs
+        );
+    }};
+}
+
+/// Discards the current case (does not count toward `cases`) when its
+/// precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

@@ -1,0 +1,102 @@
+//! The deterministic case-generation loop behind [`crate::proptest!`].
+
+use crate::strategy::Strategy;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The RNG driving all strategies.
+pub type TestRng = ChaCha8Rng;
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum rejected cases (via [`crate::prop_assume!`]) before the run
+    /// stops early; unlike proptest this is not an error, the test simply
+    /// passes on fewer cases.
+    pub max_global_rejects: u32,
+    /// Unused (kept so `..ProptestConfig::default()` spreads keep working
+    /// when code written against real proptest sets it).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 1024,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Why one generated case did not succeed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case's precondition failed (`prop_assume!`); try another case.
+    Reject,
+    /// The property is violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds the failure variant.
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+}
+
+/// Result type property-test bodies produce.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runs a strategy against a property closure for the configured number of
+/// deterministic cases.
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// Creates a runner for one property.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Runs up to `cases` generated inputs through `test`. Returns the
+    /// failure message of the first failing case, if any.
+    pub fn run<S>(
+        &mut self,
+        name: &str,
+        strategy: &S,
+        mut test: impl FnMut(S::Value) -> TestCaseResult,
+    ) -> Result<(), String>
+    where
+        S: Strategy,
+        S::Value: std::fmt::Debug + Clone,
+    {
+        // One fixed stream per test name: deterministic across runs, but
+        // different properties see different inputs.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            hash = (hash ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        let mut rng = TestRng::seed_from_u64(hash);
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < self.config.cases && rejected < self.config.max_global_rejects {
+            let input = strategy.sample(&mut rng);
+            let shown = input.clone();
+            match test(input) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => rejected += 1,
+                Err(TestCaseError::Fail(message)) => {
+                    return Err(format!(
+                        "proptest case failed: {message}\n  inputs: {shown:?}\n  \
+                         (vendored mini-proptest: no shrinking; case {passed}, test `{name}`)"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}

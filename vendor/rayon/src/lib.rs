@@ -1,0 +1,70 @@
+//! Offline vendored rayon subset.
+//!
+//! The build environment has no network access, so this crate provides the
+//! fork-join primitive the simulator's `parallel` feature builds on:
+//! [`join`] implemented over `std::thread::scope`. There is no work-stealing
+//! pool — each `join` spawns one OS thread for its second closure — so
+//! callers should recurse down to coarse chunks (the engine splits the node
+//! range to roughly [`current_num_threads`] × a small factor leaves). The
+//! surface is call-compatible with rayon's `join`, so swapping the real
+//! crate back in (edit the `vendor/` path entries in the workspace
+//! `Cargo.toml`) is a no-op for callers and buys back the pool.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Runs both closures, potentially in parallel, returning both results.
+///
+/// `oper_a` runs on the calling thread; `oper_b` runs on a freshly spawned
+/// scoped thread. Panics in either closure propagate to the caller.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let handle_b = scope.spawn(oper_b);
+        let ra = oper_a();
+        let rb = match handle_b.join() {
+            Ok(rb) => rb,
+            Err(panic) => std::panic::resume_unwind(panic),
+        };
+        (ra, rb)
+    })
+}
+
+/// The parallelism the machine offers (used by callers to pick chunk
+/// sizes; this vendored implementation has no thread pool to size).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn join_runs_closures_concurrently_safe_with_borrows() {
+        let data: Vec<u64> = (0..1000).collect();
+        let (left, right) = data.split_at(500);
+        let (sa, sb) = join(|| left.iter().sum::<u64>(), || right.iter().sum::<u64>());
+        assert_eq!(sa + sb, data.iter().sum::<u64>());
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn panics_propagate() {
+        join(|| (), || panic!("boom"));
+    }
+}

@@ -1,0 +1,33 @@
+//! Offline vendored `serde` façade.
+//!
+//! The build environment has no network access, so this crate supplies the
+//! surface the workspace actually uses today: the [`Serialize`] /
+//! [`Deserialize`] *names* for derive attributes and trait bounds. Nothing
+//! in the workspace serializes yet — the derives (from the vendored
+//! `serde_derive`) expand to nothing and the traits are blanket-implemented
+//! markers, so every `#[derive(Serialize, Deserialize)]` type keeps
+//! compiling unchanged when the real crates.io `serde` is swapped back in
+//! (edit the `vendor/` path entries in the workspace `Cargo.toml`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for serde's `Serialize` trait.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for serde's `Deserialize` trait.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Deserialization helpers namespace (subset).
+pub mod de {
+    /// Marker stand-in for serde's `DeserializeOwned`.
+    pub trait DeserializeOwned {}
+
+    impl<T: ?Sized> DeserializeOwned for T {}
+}

@@ -5,14 +5,23 @@
 //! elements = rounds per iteration), so the perf trajectory of the engine
 //! is one number per graph size. The `reuse_buffers` benchmarks measure
 //! the steady-state round loop alone (one long-lived simulation stepped
-//! in place — the zero-alloc hot path); the `full_execution` benchmarks
+//! in place — the zero-alloc hot path); `reuse_buffers_sharded` the same
+//! loop through the sharded merge; the `full_execution` benchmarks
 //! include construction, pid assignment, and buffer warm-up. With
 //! `--features parallel` the same workload is additionally run through
 //! the parallel honest phase for comparison.
+//!
+//! The `engine_phases` group decomposes one round: `merge` is honest
+//! compute + the deterministic merge with delivery skipped (traffic
+//! dropped), and the `delivery_*` benchmarks re-deliver one snapshotted
+//! round of merged traffic per iteration (reported as messages/sec) —
+//! counting sort vs sharded counting sort vs the reference comparison
+//! sort, so the delivery rewrite's win is measured directly.
 
 use bcount_bench::runners::network;
 use bcount_sim::{
-    MessageSize, NodeContext, NullAdversary, Protocol, SimConfig, Simulation, StopWhen,
+    DeliveryMode, MessageSize, NodeContext, NullAdversary, Protocol, SimConfig, Simulation,
+    StopWhen,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::time::Duration;
@@ -53,6 +62,14 @@ fn chatter_config(parallel: bool) -> SimConfig {
     }
 }
 
+fn warmed(g: &bcount_graph::Graph, cfg: SimConfig) -> Simulation<'_, Chatter, NullAdversary> {
+    let mut sim = Simulation::new(g, &[], |_, _| Chatter(0), NullAdversary, cfg);
+    for _ in 0..10 {
+        sim.step();
+    }
+    sim
+}
+
 fn bench_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_rounds");
     group.sample_size(10);
@@ -81,16 +98,7 @@ fn bench_engine(c: &mut Criterion) {
 
         // The steady-state hot path: one long-lived simulation, buffers
         // warmed, stepped ROUNDS more rounds per iteration.
-        let mut sim = Simulation::new(
-            &g,
-            &[],
-            |_, _| Chatter(0),
-            NullAdversary,
-            chatter_config(false),
-        );
-        for _ in 0..10 {
-            sim.step();
-        }
+        let mut sim = warmed(&g, chatter_config(false));
         group.bench_with_input(BenchmarkId::new("reuse_buffers", n), &n, |b, _| {
             b.iter(|| {
                 for _ in 0..ROUNDS {
@@ -100,18 +108,27 @@ fn bench_engine(c: &mut Criterion) {
             });
         });
 
+        // Same loop through the sharded merge (per-destination-range
+        // queues; serial without the `parallel` feature).
+        let mut ssim = warmed(
+            &g,
+            SimConfig {
+                sharded_merge: true,
+                ..chatter_config(false)
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("reuse_buffers_sharded", n), &n, |b, _| {
+            b.iter(|| {
+                for _ in 0..ROUNDS {
+                    ssim.step();
+                }
+                ssim.round()
+            });
+        });
+
         #[cfg(feature = "parallel")]
         {
-            let mut psim = Simulation::new(
-                &g,
-                &[],
-                |_, _| Chatter(0),
-                NullAdversary,
-                chatter_config(true),
-            );
-            for _ in 0..10 {
-                psim.step();
-            }
+            let mut psim = warmed(&g, chatter_config(true));
             group.bench_with_input(BenchmarkId::new("reuse_buffers_parallel", n), &n, |b, _| {
                 b.iter(|| {
                     for _ in 0..ROUNDS {
@@ -120,10 +137,83 @@ fn bench_engine(c: &mut Criterion) {
                     psim.round()
                 });
             });
+
+            let mut bsim = warmed(
+                &g,
+                SimConfig {
+                    sharded_merge: true,
+                    ..chatter_config(true)
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("reuse_buffers_parallel_sharded", n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        for _ in 0..ROUNDS {
+                            bsim.step();
+                        }
+                        bsim.round()
+                    });
+                },
+            );
         }
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_engine);
+/// Decomposes one round into its halves: merge (compute + deterministic
+/// merge, delivery dropped) per round, and delivery alone re-run from one
+/// snapshotted round of merged traffic (messages/sec).
+fn bench_phases(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_phases");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for &n in &[1024usize, 4096] {
+        let g = network(n, 8, n as u64);
+
+        // compute + merge only, ROUNDS rounds per iteration.
+        let mut msim = warmed(&g, chatter_config(false));
+        group.throughput(Throughput::Elements(ROUNDS));
+        group.bench_with_input(BenchmarkId::new("merge", n), &n, |b, _| {
+            b.iter(|| {
+                for _ in 0..ROUNDS {
+                    msim.bench_compute_merge();
+                    msim.drop_round_traffic();
+                }
+                msim.round()
+            });
+        });
+
+        // Delivery alone: refill the merge buffers from a snapshot and
+        // deliver, once per iteration. The refill clone is identical for
+        // all three modes, so the deltas are pure delivery cost.
+        let delivery_modes = [
+            ("delivery_counting", DeliveryMode::CountingSort, false),
+            ("delivery_sharded", DeliveryMode::CountingSort, true),
+            ("delivery_reference", DeliveryMode::ReferenceSort, false),
+        ];
+        for (label, delivery, sharded_merge) in delivery_modes {
+            let mut dsim = warmed(
+                &g,
+                SimConfig {
+                    delivery,
+                    sharded_merge,
+                    ..chatter_config(false)
+                },
+            );
+            dsim.bench_compute_merge();
+            let snapshot = dsim.bench_snapshot_traffic();
+            dsim.drop_round_traffic();
+            group.throughput(Throughput::Elements(snapshot.len() as u64));
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| dsim.bench_deliver_snapshot(&snapshot));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_phases);
 criterion_main!(benches);

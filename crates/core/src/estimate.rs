@@ -188,4 +188,97 @@ mod tests {
         let b = EstimateReport::evaluate(100, vec![Some(9.0), Some(1.0), Some(5.0)], band);
         assert_eq!(a.median_ratio, b.median_ratio);
     }
+
+    #[test]
+    fn band_boundaries_are_inclusive() {
+        let b = Band::new(0.5, 2.0);
+        let n = 1000;
+        let ln_n = (n as f64).ln();
+        // `c₁·ln n ⩽ L ⩽ c₂·ln n` — both comparisons are non-strict.
+        assert!(b.contains(0.5 * ln_n, n));
+        assert!(b.contains(2.0 * ln_n, n));
+        // The open neighbourhood just outside is excluded.
+        assert!(!b.contains(0.5 * ln_n - 1e-9, n));
+        assert!(!b.contains(2.0 * ln_n + 1e-9, n));
+    }
+
+    #[test]
+    fn degenerate_bands_are_allowed() {
+        // lo == hi: the band is the single point c·ln n.
+        let point = Band::new(1.0, 1.0);
+        let ln_n = 1000f64.ln();
+        assert!(point.contains(ln_n, 1000));
+        assert!(!point.contains(ln_n + 1e-9, 1000));
+        // lo == hi == 0 accepts exactly zero (and negatives never pass).
+        let zero = Band::new(0.0, 0.0);
+        assert!(zero.contains(0.0, 1000));
+        assert!(!zero.contains(-1e-9, 1000));
+        assert!(!zero.contains(1e-9, 1000));
+    }
+
+    #[test]
+    fn tiny_networks_clamp_to_ln_2() {
+        // `ln n` degenerates at n ⩽ 1 (ln 1 = 0 would accept only 0, and
+        // n = 0 is meaningless), so evaluation clamps to ln 2.
+        let b = Band::new(0.5, 2.0);
+        let ln_2 = 2f64.ln();
+        for n in [0, 1, 2] {
+            assert!(b.contains(ln_2, n), "n={n}");
+            assert!(b.contains(0.5 * ln_2, n), "n={n}");
+            assert!(!b.contains(2.0 * ln_2 + 1e-9, n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn evaluate_handles_all_undecided() {
+        // Honest nodes exist but none decided: counts reflect the census,
+        // the value statistics stay at their 0 sentinels.
+        let r = EstimateReport::evaluate(100, vec![None; 7], Band::new(0.5, 2.0));
+        assert_eq!(r.honest, 7);
+        assert_eq!(r.decided, 0);
+        assert_eq!(r.in_band, 0);
+        assert_eq!(r.decided_fraction(), 0.0);
+        assert_eq!(r.in_band_fraction(), 0.0);
+        assert_eq!(r.min_estimate, 0.0);
+        assert_eq!(r.max_estimate, 0.0);
+        assert_eq!(r.mean_ratio, 0.0);
+        assert_eq!(r.median_ratio, 0.0);
+    }
+
+    #[test]
+    fn evaluate_single_node_network() {
+        // n = 1: the lone honest node estimating "about ln 2" is in band
+        // under the tiny-network clamp.
+        let ln_2 = 2f64.ln();
+        let r = EstimateReport::evaluate(1, vec![Some(ln_2)], Band::new(0.5, 2.0));
+        assert_eq!(r.honest, 1);
+        assert_eq!(r.decided, 1);
+        assert_eq!(r.in_band, 1);
+        assert_eq!(r.decided_fraction(), 1.0);
+        assert_eq!(r.in_band_fraction(), 1.0);
+        assert_eq!(r.min_estimate, ln_2);
+        assert_eq!(r.max_estimate, ln_2);
+        assert!((r.mean_ratio - 1.0).abs() < 1e-12);
+        assert!((r.median_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluate_mixed_undecided_keeps_value_stats_over_decided_only() {
+        // Undecided nodes count toward `honest` (the denominators) but
+        // must not drag the min/max/ratio statistics toward 0.
+        let n = 1000;
+        let ln_n = (n as f64).ln();
+        let r = EstimateReport::evaluate(
+            n,
+            vec![None, Some(ln_n), None, Some(2.0 * ln_n), None],
+            Band::new(0.5, 2.0),
+        );
+        assert_eq!(r.honest, 5);
+        assert_eq!(r.decided, 2);
+        assert_eq!(r.in_band, 2);
+        assert_eq!(r.min_estimate, ln_n);
+        assert_eq!(r.max_estimate, 2.0 * ln_n);
+        assert!((r.mean_ratio - 1.5).abs() < 1e-12);
+        assert!((r.decided_fraction() - 0.4).abs() < 1e-12);
+    }
 }

@@ -13,11 +13,19 @@
 //!   buffer which [`NodeContext`] borrows for the duration of
 //!   [`Protocol::on_round`]; it is drained (capacity kept) by the merge
 //!   step.
-//! * **A dense `Pid → NodeId` index** — [`PidIndex`], a sorted flat array
-//!   queried by binary search, replaces the former per-message `HashMap`
-//!   lookup.
+//! * **Slot-addressed routing** — outboxes store sends as *neighbour
+//!   slots*; a precomputed [`DeliveryMap`] resolves a slot to its
+//!   destination node and counting-sort rank with one flat-array load, so
+//!   no per-message identity search (`HashMap` or binary search) runs on
+//!   the merge path.
+//! * **Counting-sort delivery** — inboxes are kept sorted by sender not
+//!   with a per-round comparison sort over opaque 64-bit [`Pid`]s but with
+//!   a *stable counting sort* over the small dense sender ranks of the
+//!   once-built [`SenderRanks`] table (an in-place permutation; no
+//!   allocation, no comparisons).
 //! * **Persistent phase scratch** — the honest- and Byzantine-outgoing
-//!   staging vectors live on the simulation and are drained, not rebuilt.
+//!   staging vectors, shard queues, and per-inbox rank/permutation buffers
+//!   live on the simulation and are drained, not rebuilt.
 //!
 //! The honest phase itself is split into an embarrassingly parallel
 //! *compute* step (each node reads only its own inbox and private RNG) and
@@ -26,14 +34,23 @@
 //! over threads via `rayon`; because ordering is decided entirely by the
 //! serial merge, the resulting [`SimReport`] is bit-identical to the serial
 //! path (the default, which remains the reference transcript).
+//!
+//! Delivery can additionally be **sharded** ([`SimConfig::sharded_merge`]):
+//! the merged traffic is partitioned into per-destination-range queues, and
+//! each shard scatters and counting-sorts its own slice of the inboxes —
+//! independently, so with the `parallel` feature the shards fan out over
+//! the same `rayon` fork-join used by the compute phase. Because the serial
+//! merge already fixed the global message order and the partition preserves
+//! per-destination order, sharded transcripts are bit-identical too (the
+//! determinism suite enforces the full serial/parallel/sharded matrix).
 
 use bcount_graph::{Graph, NodeId};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use crate::adversary::{Adversary, ByzantineContext, FullInfoView};
-use crate::idspace::{assign_pids, Pid, PidIndex};
-use crate::message::{Envelope, MessageSize};
+use crate::idspace::{assign_pids, Pid, PidIndex, SenderRanks};
+use crate::message::{DeliveryMap, Envelope, MessageSize};
 use crate::metrics::Metrics;
 use crate::protocol::{NodeContext, Protocol};
 
@@ -94,6 +111,24 @@ pub enum StopReason {
     MaxRounds,
 }
 
+/// How delivery orders each inbox by sender.
+///
+/// Both modes produce **byte-identical inboxes**: each is stable (messages
+/// from one sender keep their merged order), so the result is determined
+/// entirely by the merged traffic order — a property the delivery
+/// equivalence suite checks across random graphs, adversaries, and seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeliveryMode {
+    /// Stable counting sort over precomputed [`SenderRanks`] (the default):
+    /// no comparisons, no allocation, in-place permutation.
+    #[default]
+    CountingSort,
+    /// Reference implementation: stable comparison sort by sender [`Pid`].
+    /// Allocates (merge-sort scratch); exists as the oracle for the
+    /// equivalence property tests, not for production runs.
+    ReferenceSort,
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimConfig {
@@ -112,6 +147,14 @@ pub struct SimConfig {
     /// serial path runs. Transcripts are bit-identical either way: message
     /// ordering and metrics are decided by the serial node-order merge.
     pub parallel: bool,
+    /// Partition delivery into per-destination-range shard queues. Each
+    /// shard scatters and sorts a disjoint slice of the inboxes, so with
+    /// the `parallel` feature *and* [`SimConfig::parallel`] set the shards
+    /// run on worker threads; without them the shards run serially (same
+    /// transcript — sharding never changes per-destination order).
+    pub sharded_merge: bool,
+    /// Inbox ordering implementation; see [`DeliveryMode`].
+    pub delivery: DeliveryMode,
 }
 
 impl Default for SimConfig {
@@ -123,6 +166,8 @@ impl Default for SimConfig {
             stop_when: StopWhen::AllHonestHalted,
             record_round_stats: false,
             parallel: false,
+            sharded_merge: false,
+            delivery: DeliveryMode::CountingSort,
         }
     }
 }
@@ -182,6 +227,10 @@ pub struct Simulation<'g, P: Protocol, A> {
     adversary: A,
     pids: Vec<Pid>,
     pid_index: PidIndex,
+    /// Per-destination distinct-sender rank table: the counting-sort keys.
+    sender_ranks: SenderRanks,
+    /// Per-slot routing: outbox slot → (destination, sender rank there).
+    delivery_map: DeliveryMap,
     neighbor_pids: Vec<Vec<Pid>>,
     is_byzantine: Vec<bool>,
     protocols: Vec<Option<P>>,
@@ -192,16 +241,41 @@ pub struct Simulation<'g, P: Protocol, A> {
     /// Delivery staging for the round in flight; swapped with `inboxes`
     /// each round instead of being reallocated.
     staged: Vec<Vec<Envelope<P::Message>>>,
-    /// Per-node outgoing scratch lent to [`NodeContext`] each round.
-    outboxes: Vec<Vec<(Pid, P::Message)>>,
+    /// Per-node outgoing scratch lent to [`NodeContext`] each round;
+    /// entries are (neighbour slot, message).
+    outboxes: Vec<Vec<(u32, P::Message)>>,
     /// Merged honest traffic of the round in flight, in node order.
     honest_outgoing: Vec<(NodeId, NodeId, P::Message)>,
+    /// Destination sender-ranks aligned entry-for-entry with
+    /// `honest_outgoing` (kept separate so the adversary's view of the
+    /// traffic stays a plain `(from, to, msg)` slice).
+    honest_ranks: Vec<u32>,
     /// The adversary's traffic of the round in flight.
     byz_outgoing: Vec<(NodeId, NodeId, P::Message)>,
+    /// Destination sender-ranks aligned with `byz_outgoing`.
+    byz_ranks: Vec<u32>,
+    /// Per-shard routed-message queues (sharded merge only).
+    shard_queues: Vec<Vec<Routed<P::Message>>>,
+    /// Per-inbox sender ranks of the staged messages, in staging order.
+    inbox_ranks: Vec<Vec<u32>>,
+    /// Per-inbox permutation scratch for the in-place counting sort.
+    inbox_pos: Vec<Vec<u32>>,
+    /// Flat per-(destination, distinct sender) counters, CSR-aligned with
+    /// `sender_ranks`; zeroed between uses.
+    sender_counts: Vec<u32>,
     decided_round: Vec<Option<u64>>,
     halted: Vec<bool>,
     metrics: Metrics,
     round: u64,
+}
+
+/// A message routed to its destination shard: pre-stamped sender identity,
+/// destination node, and the sender's counting-sort rank there.
+struct Routed<M> {
+    sender: Pid,
+    to: NodeId,
+    rank: u32,
+    msg: M,
 }
 
 impl<'g, P, A> Simulation<'g, P, A>
@@ -233,21 +307,13 @@ where
         let mut master = ChaCha8Rng::seed_from_u64(config.seed);
         let pids = assign_pids(n, &mut master);
         let pid_index = PidIndex::new(&pids);
+        let sender_ranks = SenderRanks::new(graph, &pids);
+        let (neighbor_pids, delivery_map) = DeliveryMap::build(graph, &pids, &sender_ranks);
         let mut is_byzantine = vec![false; n];
         for &b in byzantine {
             assert!(b.index() < n, "byzantine node {b} out of range");
             is_byzantine[b.index()] = true;
         }
-        let neighbor_pids: Vec<Vec<Pid>> = (0..n)
-            .map(|u| {
-                let mut v: Vec<Pid> = graph
-                    .neighbors(NodeId(u as u32))
-                    .map(|w| pids[w.index()])
-                    .collect();
-                v.sort_unstable();
-                v
-            })
-            .collect();
         let rngs: Vec<ChaCha8Rng> = (0..n)
             .map(|_| ChaCha8Rng::seed_from_u64(master.gen()))
             .collect();
@@ -265,12 +331,20 @@ where
                 }
             })
             .collect();
+        // Shard count for the sharded merge: enough shards to split real
+        // workloads, capped so tiny simulations don't fragment. The count
+        // never affects transcripts (sharding preserves per-destination
+        // order), only how delivery work is partitioned.
+        let num_shards = n.div_ceil(256).clamp(2, 16);
+        let sender_counts = vec![0; sender_ranks.total()];
         Simulation {
             graph,
             config,
             adversary,
             pids,
             pid_index,
+            sender_ranks,
+            delivery_map,
             neighbor_pids,
             is_byzantine,
             protocols,
@@ -280,7 +354,13 @@ where
             staged: (0..n).map(|_| Vec::new()).collect(),
             outboxes: (0..n).map(|_| Vec::new()).collect(),
             honest_outgoing: Vec::new(),
+            honest_ranks: Vec::new(),
             byz_outgoing: Vec::new(),
+            byz_ranks: Vec::new(),
+            shard_queues: (0..num_shards).map(|_| Vec::new()).collect(),
+            inbox_ranks: (0..n).map(|_| Vec::new()).collect(),
+            inbox_pos: (0..n).map(|_| Vec::new()).collect(),
+            sender_counts,
             decided_round: vec![None; n],
             halted: vec![false; n],
             metrics: Metrics::new(n),
@@ -367,21 +447,23 @@ where
     }
 
     /// Deterministic merge: drains every honest outbox in node order,
-    /// resolving destinations through the dense [`PidIndex`] and recording
+    /// resolving each slot-addressed send to its destination and
+    /// counting-sort rank through the precomputed [`DeliveryMap`] (one
+    /// flat-array load — no per-message identity search) and recording
     /// per-node metrics. This single-threaded step fixes the global
-    /// message order, which is why the parallel compute phase cannot
-    /// perturb transcripts.
+    /// message order, which is why neither the parallel compute phase nor
+    /// the sharded delivery can perturb transcripts.
     fn merge_outboxes(&mut self) {
         debug_assert!(self.honest_outgoing.is_empty());
+        debug_assert!(self.honest_ranks.is_empty());
         for u in 0..self.graph.len() {
             let from = NodeId(u as u32);
-            for (to_pid, msg) in self.outboxes[u].drain(..) {
-                let to = self
-                    .pid_index
-                    .node_of(to_pid)
-                    .expect("send targets an assigned pid");
+            let targets = self.delivery_map.targets_of(u);
+            for (slot, msg) in self.outboxes[u].drain(..) {
+                let target = targets[slot as usize];
                 self.metrics.per_node[u].record(msg.size_bits(self.config.id_bits));
-                self.honest_outgoing.push((from, to, msg));
+                self.honest_outgoing.push((from, target.to, msg));
+                self.honest_ranks.push(target.rank);
             }
         }
     }
@@ -410,35 +492,34 @@ where
         self.adversary.on_round(&view, &mut ctx);
     }
 
-    /// Delivery: stamps authenticated senders, stages envelopes, sorts
-    /// each inbox by sender, and swaps the double buffer.
+    /// Delivery: stamps authenticated senders, stages envelopes, orders
+    /// each inbox by sender (stable counting sort over precomputed ranks,
+    /// optionally sharded by destination range), and swaps the double
+    /// buffer.
     fn deliver(&mut self) {
-        for inbox in &mut self.staged {
-            inbox.clear();
-        }
-        let mut message_count = 0u64;
-        for (from, to, msg) in self.honest_outgoing.drain(..) {
-            self.staged[to.index()].push(Envelope {
-                sender: self.pids[from.index()],
-                msg,
-            });
-            message_count += 1;
-        }
-        let honest_message_count = message_count;
-        for (from, to, msg) in self.byz_outgoing.drain(..) {
+        debug_assert_eq!(self.honest_ranks.len(), self.honest_outgoing.len());
+        debug_assert!(self.byz_ranks.is_empty());
+        let honest_message_count = self.honest_outgoing.len() as u64;
+        let message_count = honest_message_count + self.byz_outgoing.len() as u64;
+        // Account and rank-resolve the Byzantine traffic up front, serially:
+        // per-sender metrics writes would race under the sharded scatter,
+        // and the adversary's (from, to) pairs carry no precomputed slot.
+        // The reference sort orders by pid directly, so it skips the ranks.
+        let needs_ranks = self.config.delivery != DeliveryMode::ReferenceSort;
+        for (from, to, msg) in &self.byz_outgoing {
             self.metrics.per_node[from.index()].record(msg.size_bits(self.config.id_bits));
-            self.staged[to.index()].push(Envelope {
-                sender: self.pids[from.index()],
-                msg,
-            });
-            message_count += 1;
+            if needs_ranks {
+                let rank = self
+                    .sender_ranks
+                    .rank_of(*to, self.pids[from.index()])
+                    .expect("byzantine sender is a graph neighbor");
+                self.byz_ranks.push(rank);
+            }
         }
-        for inbox in &mut self.staged {
-            // Unstable sort: in-place and allocation-free. Deterministic
-            // for a given input order, which the serial merge fixed; ties
-            // (several messages from one sender in one round) carry no
-            // ordering guarantee, matching the model.
-            inbox.sort_unstable_by_key(|e| e.sender);
+        match self.config.delivery {
+            DeliveryMode::ReferenceSort => self.deliver_reference(),
+            DeliveryMode::CountingSort if self.config.sharded_merge => self.deliver_sharded(),
+            DeliveryMode::CountingSort => self.deliver_counting(),
         }
         std::mem::swap(&mut self.inboxes, &mut self.staged);
         self.metrics.rounds = self.round;
@@ -460,6 +541,171 @@ where
                 halted,
             });
         }
+    }
+
+    /// Reference delivery: stage in merged order, then stable-sort each
+    /// inbox by sender pid. Allocates (merge-sort scratch) — this is the
+    /// oracle the counting-sort path is property-tested against, not a
+    /// production path.
+    fn deliver_reference(&mut self) {
+        for inbox in &mut self.staged {
+            inbox.clear();
+        }
+        self.honest_ranks.clear();
+        self.byz_ranks.clear();
+        for (from, to, msg) in self.honest_outgoing.drain(..) {
+            self.staged[to.index()].push(Envelope {
+                sender: self.pids[from.index()],
+                msg,
+            });
+        }
+        for (from, to, msg) in self.byz_outgoing.drain(..) {
+            self.staged[to.index()].push(Envelope {
+                sender: self.pids[from.index()],
+                msg,
+            });
+        }
+        for inbox in &mut self.staged {
+            // Stable: several messages from one sender in one round keep
+            // their merged order — exactly what the counting sort produces.
+            inbox.sort_by_key(|e| e.sender);
+        }
+    }
+
+    /// Counting-sort delivery, unsharded: one scatter pass over the merged
+    /// traffic (envelope + rank tag per message), then a stable in-place
+    /// counting permutation per inbox. Allocation-free in steady state.
+    fn deliver_counting(&mut self) {
+        for (inbox, ranks) in self.staged.iter_mut().zip(self.inbox_ranks.iter_mut()) {
+            inbox.clear();
+            ranks.clear();
+        }
+        for ((from, to, msg), rank) in self
+            .honest_outgoing
+            .drain(..)
+            .zip(self.honest_ranks.drain(..))
+        {
+            self.staged[to.index()].push(Envelope {
+                sender: self.pids[from.index()],
+                msg,
+            });
+            self.inbox_ranks[to.index()].push(rank);
+        }
+        for ((from, to, msg), rank) in self.byz_outgoing.drain(..).zip(self.byz_ranks.drain(..)) {
+            self.staged[to.index()].push(Envelope {
+                sender: self.pids[from.index()],
+                msg,
+            });
+            self.inbox_ranks[to.index()].push(rank);
+        }
+        for v in 0..self.graph.len() {
+            let c0 = self.sender_ranks.offset(v);
+            let c1 = self.sender_ranks.offset(v + 1);
+            finish_inbox(
+                &mut self.staged[v],
+                &self.inbox_ranks[v],
+                &mut self.inbox_pos[v],
+                &mut self.sender_counts[c0..c1],
+            );
+        }
+    }
+
+    /// Counting-sort delivery, sharded: the merged traffic is partitioned
+    /// (serially, order preserved) into per-destination-range queues, then
+    /// each shard scatters and counting-sorts its own disjoint slice of
+    /// the inboxes. With the `parallel` feature and
+    /// [`SimConfig::parallel`], shards fan out via `rayon::join`.
+    fn deliver_sharded(&mut self) {
+        let n = self.graph.len();
+        let num_shards = self.shard_queues.len();
+        for ((from, to, msg), rank) in self
+            .honest_outgoing
+            .drain(..)
+            .zip(self.honest_ranks.drain(..))
+        {
+            self.shard_queues[shard_of(to.index(), n, num_shards)].push(Routed {
+                sender: self.pids[from.index()],
+                to,
+                rank,
+                msg,
+            });
+        }
+        for ((from, to, msg), rank) in self.byz_outgoing.drain(..).zip(self.byz_ranks.drain(..)) {
+            self.shard_queues[shard_of(to.index(), n, num_shards)].push(Routed {
+                sender: self.pids[from.index()],
+                to,
+                rank,
+                msg,
+            });
+        }
+        let geometry = ShardGeometry {
+            n,
+            shards: num_shards,
+            senders: &self.sender_ranks,
+        };
+        let lane = DeliveryLane {
+            first_shard: 0,
+            base_node: 0,
+            queues: &mut self.shard_queues,
+            staged: &mut self.staged,
+            ranks: &mut self.inbox_ranks,
+            pos: &mut self.inbox_pos,
+            counts: &mut self.sender_counts,
+        };
+        let parallel = self.config.parallel;
+        run_delivery_lane(geometry, lane, parallel);
+    }
+
+    /// The messages node `u` received at the end of the last executed
+    /// round, sorted by sender — the same slice the node's
+    /// [`NodeContext::inbox`] will expose next round. Public for
+    /// instrumentation and equivalence testing.
+    pub fn inbox(&self, u: NodeId) -> &[Envelope<P::Message>] {
+        &self.inboxes[u.index()]
+    }
+
+    /// Runs the compute + deterministic-merge half of the next round,
+    /// leaving the merged traffic staged (benchmark/instrumentation hook;
+    /// pair with [`Simulation::step`]-equivalent completion or
+    /// [`Simulation::drop_round_traffic`], never with a bare repeat).
+    #[doc(hidden)]
+    pub fn bench_compute_merge(&mut self) {
+        self.round += 1;
+        self.honest_phase();
+        self.merge_outboxes();
+    }
+
+    /// Discards the round's merged-but-undelivered traffic — total
+    /// omission fault injection, and the reset half of the merge
+    /// micro-benchmark.
+    #[doc(hidden)]
+    pub fn drop_round_traffic(&mut self) {
+        self.honest_outgoing.clear();
+        self.honest_ranks.clear();
+        self.byz_outgoing.clear();
+        self.byz_ranks.clear();
+    }
+
+    /// Clones the currently merged honest traffic (benchmark hook).
+    #[doc(hidden)]
+    pub fn bench_snapshot_traffic(&self) -> TrafficSnapshot<P::Message> {
+        TrafficSnapshot {
+            honest: self.honest_outgoing.clone(),
+            ranks: self.honest_ranks.clone(),
+        }
+    }
+
+    /// Refills the merge buffers from a snapshot and runs delivery alone —
+    /// the delivery micro-benchmark (the refill clone is the same for
+    /// every delivery mode, so mode-to-mode deltas are delivery cost).
+    #[doc(hidden)]
+    pub fn bench_deliver_snapshot(&mut self, snapshot: &TrafficSnapshot<P::Message>) {
+        debug_assert!(self.honest_outgoing.is_empty());
+        self.honest_outgoing.clone_from(&snapshot.honest);
+        self.honest_ranks.clone_from(&snapshot.ranks);
+        self.byz_outgoing.clear();
+        self.byz_ranks.clear();
+        self.deliver();
     }
 
     fn stop_reason(&self) -> Option<StopReason> {
@@ -508,6 +754,183 @@ where
     }
 }
 
+/// A clone of one round's merged honest traffic; see
+/// [`Simulation::bench_snapshot_traffic`].
+#[doc(hidden)]
+pub struct TrafficSnapshot<M> {
+    honest: Vec<(NodeId, NodeId, M)>,
+    ranks: Vec<u32>,
+}
+
+impl<M> TrafficSnapshot<M> {
+    /// Number of messages in the snapshot.
+    pub fn len(&self) -> usize {
+        self.honest.len()
+    }
+
+    /// Whether the snapshot holds no messages.
+    pub fn is_empty(&self) -> bool {
+        self.honest.is_empty()
+    }
+}
+
+/// The shard a destination node belongs to: contiguous node ranges, the
+/// `s`-th covering `[ceil(s·n/S), ceil((s+1)·n/S))`.
+fn shard_of(v: usize, n: usize, shards: usize) -> usize {
+    v * shards / n
+}
+
+/// First node of shard `s` under [`shard_of`]'s partition.
+fn shard_start(s: usize, n: usize, shards: usize) -> usize {
+    (s * n).div_ceil(shards)
+}
+
+/// Stable in-place counting sort of one staged inbox by precomputed sender
+/// rank. Produces exactly the output of a *stable* comparison sort by
+/// sender pid (ranks are order-isomorphic to pids per destination, and
+/// `pos[i] = start[rank[i]]++` preserves staging order within a rank), with
+/// no comparisons and no allocation once `pos` has warmed up.
+///
+/// `counts` is the destination's slice of the flat per-sender counter
+/// array; it must arrive zeroed and is re-zeroed before returning.
+fn finish_inbox<M>(
+    inbox: &mut [Envelope<M>],
+    ranks: &[u32],
+    pos: &mut Vec<u32>,
+    counts: &mut [u32],
+) {
+    let k = inbox.len();
+    debug_assert_eq!(ranks.len(), k);
+    if k <= 1 {
+        return;
+    }
+    debug_assert!(counts.iter().all(|&c| c == 0));
+    for &r in ranks {
+        counts[r as usize] += 1;
+    }
+    let mut sum = 0u32;
+    for c in counts.iter_mut() {
+        let start = sum;
+        sum += *c;
+        *c = start;
+    }
+    pos.clear();
+    for &r in ranks {
+        pos.push(counts[r as usize]);
+        counts[r as usize] += 1;
+    }
+    for c in counts.iter_mut() {
+        *c = 0;
+    }
+    // Apply the permutation in place by cycle-walking: element `i` belongs
+    // at `pos[i]`; each swap settles one element.
+    for i in 0..k {
+        while pos[i] as usize != i {
+            let j = pos[i] as usize;
+            inbox.swap(i, j);
+            pos.swap(i, j);
+        }
+    }
+}
+
+/// Read-only geometry shared by every delivery lane.
+#[derive(Clone, Copy)]
+struct ShardGeometry<'a> {
+    n: usize,
+    shards: usize,
+    senders: &'a SenderRanks,
+}
+
+/// The contiguous span of shards (queues + destination-range state) one
+/// delivery worker owns. All slices cover exactly the nodes
+/// `base_node..base_node + staged.len()`.
+struct DeliveryLane<'a, M> {
+    first_shard: usize,
+    base_node: usize,
+    queues: &'a mut [Vec<Routed<M>>],
+    staged: &'a mut [Vec<Envelope<M>>],
+    ranks: &'a mut [Vec<u32>],
+    pos: &'a mut [Vec<u32>],
+    counts: &'a mut [u32],
+}
+
+/// Recursively splits the shard span, forking via `rayon::join` when the
+/// `parallel` feature and flag are on, until each lane is one shard; then
+/// scatters that shard's queue into its inboxes and counting-sorts them.
+fn run_delivery_lane<M: PhaseShared>(
+    geometry: ShardGeometry<'_>,
+    lane: DeliveryLane<'_, M>,
+    _parallel: bool,
+) {
+    if lane.queues.len() > 1 {
+        let mid = lane.queues.len() / 2;
+        let split_node = shard_start(lane.first_shard + mid, geometry.n, geometry.shards);
+        let node_mid = split_node - lane.base_node;
+        let count_mid =
+            geometry.senders.offset(split_node) - geometry.senders.offset(lane.base_node);
+        let (queue_l, queue_r) = lane.queues.split_at_mut(mid);
+        let (staged_l, staged_r) = lane.staged.split_at_mut(node_mid);
+        let (ranks_l, ranks_r) = lane.ranks.split_at_mut(node_mid);
+        let (pos_l, pos_r) = lane.pos.split_at_mut(node_mid);
+        let (counts_l, counts_r) = lane.counts.split_at_mut(count_mid);
+        let left = DeliveryLane {
+            first_shard: lane.first_shard,
+            base_node: lane.base_node,
+            queues: queue_l,
+            staged: staged_l,
+            ranks: ranks_l,
+            pos: pos_l,
+            counts: counts_l,
+        };
+        let right = DeliveryLane {
+            first_shard: lane.first_shard + mid,
+            base_node: split_node,
+            queues: queue_r,
+            staged: staged_r,
+            ranks: ranks_r,
+            pos: pos_r,
+            counts: counts_r,
+        };
+        #[cfg(feature = "parallel")]
+        if _parallel {
+            rayon::join(
+                || run_delivery_lane(geometry, left, true),
+                || run_delivery_lane(geometry, right, true),
+            );
+            return;
+        }
+        run_delivery_lane(geometry, left, _parallel);
+        run_delivery_lane(geometry, right, _parallel);
+        return;
+    }
+    // Leaf: one shard. Scatter its queue (order preserved — the partition
+    // pass pushed in merged order), then sort each inbox in its range.
+    for (inbox, ranks) in lane.staged.iter_mut().zip(lane.ranks.iter_mut()) {
+        inbox.clear();
+        ranks.clear();
+    }
+    let queue = &mut lane.queues[0];
+    for routed in queue.drain(..) {
+        let i = routed.to.index() - lane.base_node;
+        lane.staged[i].push(Envelope {
+            sender: routed.sender,
+            msg: routed.msg,
+        });
+        lane.ranks[i].push(routed.rank);
+    }
+    let base_count = geometry.senders.offset(lane.base_node);
+    for i in 0..lane.staged.len() {
+        let c0 = geometry.senders.offset(lane.base_node + i) - base_count;
+        let c1 = geometry.senders.offset(lane.base_node + i + 1) - base_count;
+        finish_inbox(
+            &mut lane.staged[i],
+            &lane.ranks[i],
+            &mut lane.pos[i],
+            &mut lane.counts[c0..c1],
+        );
+    }
+}
+
 /// Runs one node's round against its own state slices. Shared between the
 /// serial and parallel compute paths so they are behaviourally identical
 /// by construction.
@@ -519,7 +942,7 @@ fn drive_node<P: Protocol>(
     neighbors: &[Pid],
     inbox: &[Envelope<P::Message>],
     rng: &mut ChaCha8Rng,
-    outbox: &mut Vec<(Pid, P::Message)>,
+    outbox: &mut Vec<(u32, P::Message)>,
     decided_round: &mut Option<u64>,
     halted: &mut bool,
 ) {
@@ -565,7 +988,7 @@ struct PhaseLane<'a, P: Protocol> {
     base: usize,
     protocols: &'a mut [Option<P>],
     rngs: &'a mut [ChaCha8Rng],
-    outboxes: &'a mut [Vec<(Pid, P::Message)>],
+    outboxes: &'a mut [Vec<(u32, P::Message)>],
     decided_round: &'a mut [Option<u64>],
     halted: &'a mut [bool],
 }
@@ -1027,28 +1450,156 @@ mod tests {
         // (tests/zero_alloc.rs additionally proves it with a counting
         // global allocator.)
         let g = cycle(12).unwrap();
-        let cfg = SimConfig {
-            max_rounds: 1_000,
+        for sharded in [false, true] {
+            let cfg = SimConfig {
+                max_rounds: 1_000,
+                stop_when: StopWhen::MaxRoundsOnly,
+                sharded_merge: sharded,
+                ..SimConfig::default()
+            };
+            let mut sim = flood_sim(&g, &[], cfg);
+            for _ in 0..10 {
+                sim.step();
+            }
+            let snapshot = |sim: &Simulation<'_, FloodMax, NullAdversary>| {
+                (
+                    sim.inboxes.iter().map(Vec::capacity).collect::<Vec<_>>(),
+                    sim.staged.iter().map(Vec::capacity).collect::<Vec<_>>(),
+                    sim.outboxes.iter().map(Vec::capacity).collect::<Vec<_>>(),
+                    sim.inbox_ranks
+                        .iter()
+                        .map(Vec::capacity)
+                        .collect::<Vec<_>>(),
+                    sim.inbox_pos.iter().map(Vec::capacity).collect::<Vec<_>>(),
+                    sim.shard_queues
+                        .iter()
+                        .map(Vec::capacity)
+                        .collect::<Vec<_>>(),
+                    (sim.honest_outgoing.capacity(), sim.honest_ranks.capacity()),
+                )
+            };
+            let before = snapshot(&sim);
+            for _ in 0..50 {
+                sim.step();
+            }
+            assert_eq!(before, snapshot(&sim), "sharded={sharded}");
+        }
+    }
+
+    #[test]
+    fn delivery_modes_agree_on_inboxes_and_reports() {
+        // Counting sort (default), sharded merge, and the reference
+        // comparison sort must produce byte-identical inboxes every round
+        // and identical final reports — with Byzantine traffic in flight.
+        let g = cycle(17).unwrap();
+        let byz = [NodeId(4)];
+        let cfg = |sharded_merge, delivery| SimConfig {
+            sharded_merge,
+            delivery,
+            max_rounds: 25,
             stop_when: StopWhen::MaxRoundsOnly,
             ..SimConfig::default()
         };
-        let mut sim = flood_sim(&g, &[], cfg);
-        for _ in 0..10 {
-            sim.step();
-        }
-        let snapshot = |sim: &Simulation<'_, FloodMax, NullAdversary>| {
-            (
-                sim.inboxes.iter().map(Vec::capacity).collect::<Vec<_>>(),
-                sim.staged.iter().map(Vec::capacity).collect::<Vec<_>>(),
-                sim.outboxes.iter().map(Vec::capacity).collect::<Vec<_>>(),
-                sim.honest_outgoing.capacity(),
-            )
+        let factory = |_: NodeId, init: &NodeInit| FloodMax {
+            best: init.pid,
+            changed: false,
+            stable_rounds: 0,
+            budget: 10,
         };
-        let before = snapshot(&sim);
-        for _ in 0..50 {
-            sim.step();
+        let mut counting = Simulation::new(
+            &g,
+            &byz,
+            factory,
+            MaxFaker,
+            cfg(false, DeliveryMode::CountingSort),
+        );
+        let mut sharded = Simulation::new(
+            &g,
+            &byz,
+            factory,
+            MaxFaker,
+            cfg(true, DeliveryMode::CountingSort),
+        );
+        let mut reference = Simulation::new(
+            &g,
+            &byz,
+            factory,
+            MaxFaker,
+            cfg(false, DeliveryMode::ReferenceSort),
+        );
+        for _ in 0..25 {
+            counting.step();
+            sharded.step();
+            reference.step();
+            for u in 0..g.len() {
+                let u = NodeId(u as u32);
+                assert_eq!(
+                    counting.inbox(u),
+                    reference.inbox(u),
+                    "counting vs reference"
+                );
+                assert_eq!(sharded.inbox(u), reference.inbox(u), "sharded vs reference");
+            }
         }
-        assert_eq!(before, snapshot(&sim));
+        let (a, b, c) = (
+            counting.report(StopReason::MaxRounds),
+            sharded.report(StopReason::MaxRounds),
+            reference.report(StopReason::MaxRounds),
+        );
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.metrics, c.metrics);
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.outputs, c.outputs);
+    }
+
+    /// Sends a run of *distinct* payloads to one neighbour in one round, so
+    /// tie ordering (several messages from one sender) is observable.
+    struct TaggedSpray;
+    impl Protocol for TaggedSpray {
+        type Message = Pid;
+        type Output = ();
+        fn on_round(&mut self, ctx: &mut NodeContext<'_, Pid>) {
+            if ctx.round() == 1 {
+                let to = ctx.neighbors()[0];
+                ctx.send(to, Pid(100));
+                ctx.send(to, Pid(200));
+                ctx.send(to, Pid(300));
+            }
+        }
+        fn output(&self) -> Option<()> {
+            None
+        }
+    }
+
+    #[test]
+    fn delivery_is_stable_per_sender() {
+        // The counting sort is stable: a sender's messages arrive in send
+        // order, in every delivery mode.
+        for (sharded, delivery) in [
+            (false, DeliveryMode::CountingSort),
+            (true, DeliveryMode::CountingSort),
+            (false, DeliveryMode::ReferenceSort),
+        ] {
+            let g = path(2).unwrap();
+            let cfg = SimConfig {
+                max_rounds: 1,
+                stop_when: StopWhen::MaxRoundsOnly,
+                sharded_merge: sharded,
+                delivery,
+                ..SimConfig::default()
+            };
+            let mut sim = Simulation::new(&g, &[], |_, _| TaggedSpray, NullAdversary, cfg);
+            sim.step();
+            for u in 0..2 {
+                let inbox = sim.inbox(NodeId(u));
+                assert_eq!(inbox.len(), 3);
+                assert_eq!(
+                    inbox.iter().map(|e| e.msg).collect::<Vec<_>>(),
+                    vec![Pid(100), Pid(200), Pid(300)],
+                    "stable delivery keeps send order (sharded={sharded}, {delivery:?})"
+                );
+            }
+        }
     }
 
     #[test]

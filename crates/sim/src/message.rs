@@ -1,6 +1,7 @@
-//! Message envelopes and size accounting.
+//! Message envelopes, size accounting, and the precomputed delivery map.
 
-use crate::idspace::Pid;
+use crate::idspace::{Pid, SenderRanks};
+use bcount_graph::{Graph, NodeId};
 
 /// A delivered message with its authenticated sender.
 ///
@@ -46,6 +47,88 @@ impl<M: MessageSize> MessageSize for Envelope<M> {
     }
 }
 
+/// Where one outbox slot delivers: the destination node and the sender's
+/// rank in that destination's inbox order.
+///
+/// See [`DeliveryMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotTarget {
+    /// The destination graph node.
+    pub to: NodeId,
+    /// The sender's rank among the destination's distinct neighbours
+    /// (its [`SenderRanks`] rank) — the counting-sort key of the message.
+    pub rank: u32,
+}
+
+/// Precomputed routing for every (sender, neighbour-slot) pair.
+///
+/// A node's outbox addresses its sends by *slot*: the index into its own
+/// sorted neighbour [`Pid`] list. This map resolves a slot straight to a
+/// [`SlotTarget`] — destination [`bcount_graph::NodeId`] plus the sender's
+/// rank at that destination — in one flat-array load, replacing both the
+/// per-message `Pid → NodeId` binary search on the merge path and the
+/// per-inbox comparison sort on the delivery path.
+///
+/// Built once per execution; flat CSR layout mirroring the graph's own
+/// adjacency structure (one entry per directed edge, multiplicity kept).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeliveryMap {
+    /// `offsets[u]..offsets[u + 1]` spans `u`'s slots in `targets`.
+    offsets: Vec<usize>,
+    /// Per-slot routing, aligned with each node's sorted neighbour list.
+    targets: Vec<SlotTarget>,
+}
+
+impl DeliveryMap {
+    /// Builds the map for `graph` under identity assignment `pids`,
+    /// together with every node's sorted neighbour pid list (with edge
+    /// multiplicity).
+    ///
+    /// The two are built from one shared ordering pass because they *must*
+    /// agree slot-for-slot: `neighbor_pids[u][s]` is the identity a send
+    /// through slot `s` reaches, and `map.targets_of(u)[s]` is where the
+    /// engine physically delivers it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pids.len()` differs from the graph's node count.
+    pub fn build(graph: &Graph, pids: &[Pid], ranks: &SenderRanks) -> (Vec<Vec<Pid>>, DeliveryMap) {
+        let n = graph.len();
+        assert_eq!(pids.len(), n, "one pid per graph node");
+        let mut neighbor_pids: Vec<Vec<Pid>> = Vec::with_capacity(n);
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        let mut targets = Vec::new();
+        let mut scratch: Vec<(Pid, NodeId)> = Vec::new();
+        for u in 0..n {
+            scratch.clear();
+            scratch.extend(
+                graph
+                    .neighbors(NodeId(u as u32))
+                    .map(|w| (pids[w.index()], w)),
+            );
+            // Sorting by pid is total: pids are distinct, so ties occur
+            // only between parallel edges to the same node.
+            scratch.sort_unstable();
+            neighbor_pids.push(scratch.iter().map(|&(p, _)| p).collect());
+            for &(_, w) in &scratch {
+                let rank = ranks
+                    .rank_of(w, pids[u])
+                    .expect("undirected graph: u is a neighbor of w");
+                targets.push(SlotTarget { to: w, rank });
+            }
+            offsets.push(targets.len());
+        }
+        (neighbor_pids, DeliveryMap { offsets, targets })
+    }
+
+    /// The routing of every outbox slot of node `u`, aligned with `u`'s
+    /// sorted neighbour pid list.
+    pub fn targets_of(&self, u: usize) -> &[SlotTarget] {
+        &self.targets[self.offsets[u]..self.offsets[u + 1]]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,5 +152,66 @@ mod tests {
     fn pid_messages_cost_one_id() {
         assert_eq!(Pid(7).size_bits(64), 64);
         assert_eq!(Pid(7).size_bits(20), 20);
+    }
+
+    #[test]
+    fn delivery_map_routes_slots_to_ranked_destinations() {
+        use bcount_graph::gen::path;
+        // path(3): 0 – 1 – 2, pids chosen so sorted orders are non-trivial.
+        let g = path(3).unwrap();
+        let pids = [Pid(50), Pid(10), Pid(30)];
+        let ranks = SenderRanks::new(&g, &pids);
+        let (neighbor_pids, map) = DeliveryMap::build(&g, &pids, &ranks);
+        // Node 1's neighbours sorted by pid: 30 (node 2), 50 (node 0).
+        assert_eq!(neighbor_pids[1], vec![Pid(30), Pid(50)]);
+        let t = map.targets_of(1);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].to, NodeId(2));
+        assert_eq!(t[1].to, NodeId(0));
+        // Node 2's only potential sender is pid 10 → rank 0; node 0 same.
+        assert_eq!(t[0].rank, 0);
+        assert_eq!(t[1].rank, 0);
+        // Node 0's single slot reaches node 1; sender pid 50 ranks above
+        // pid 30 among node 1's senders {30, 50}.
+        let t0 = map.targets_of(0);
+        assert_eq!(
+            t0,
+            &[SlotTarget {
+                to: NodeId(1),
+                rank: 1
+            }]
+        );
+        // And the slot ordering agrees with the neighbour pid list
+        // everywhere.
+        for (u, pids) in neighbor_pids.iter().enumerate() {
+            assert_eq!(pids.len(), map.targets_of(u).len());
+        }
+    }
+
+    #[test]
+    fn delivery_map_keeps_multi_edge_slots() {
+        use bcount_graph::GraphBuilder;
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(0), NodeId(1));
+        let g = b.build();
+        let pids = [Pid(1), Pid(2)];
+        let ranks = SenderRanks::new(&g, &pids);
+        let (neighbor_pids, map) = DeliveryMap::build(&g, &pids, &ranks);
+        // Multiplicity kept in both views, rank deduped at the receiver.
+        assert_eq!(neighbor_pids[0], vec![Pid(2), Pid(2)]);
+        assert_eq!(
+            map.targets_of(0),
+            &[
+                SlotTarget {
+                    to: NodeId(1),
+                    rank: 0
+                },
+                SlotTarget {
+                    to: NodeId(1),
+                    rank: 0
+                }
+            ]
+        );
     }
 }

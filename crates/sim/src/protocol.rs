@@ -46,7 +46,11 @@ pub trait Protocol {
 /// The outgoing sink is a *borrowed* per-node scratch buffer owned by the
 /// engine — sends append to it, and the engine drains it (keeping its
 /// capacity) in the deterministic merge step, so steady-state rounds
-/// allocate nothing.
+/// allocate nothing. Sends are stored pre-resolved as *neighbour slots*
+/// (indices into the node's sorted neighbour list): [`NodeContext::send`]
+/// resolves the target [`Pid`] once, and the engine's delivery map turns
+/// the slot into a destination and counting-sort rank with one array load —
+/// no per-message identity search ever runs on the merge path.
 #[derive(Debug)]
 pub struct NodeContext<'a, M> {
     pub(crate) round: u64,
@@ -54,7 +58,7 @@ pub struct NodeContext<'a, M> {
     pub(crate) neighbors: &'a [Pid],
     pub(crate) inbox: &'a [Envelope<M>],
     pub(crate) rng: &'a mut ChaCha8Rng,
-    pub(crate) outgoing: &'a mut Vec<(Pid, M)>,
+    pub(crate) outgoing: &'a mut Vec<(u32, M)>,
 }
 
 impl<'a, M: Clone> NodeContext<'a, M> {
@@ -101,16 +105,19 @@ impl<'a, M: Clone> NodeContext<'a, M> {
 
     /// Sends `msg` to the neighbour `to`.
     ///
+    /// The neighbour list is sorted, so the membership check is a binary
+    /// search; the found index doubles as the engine-level delivery slot.
+    ///
     /// # Panics
     ///
     /// Panics if `to` is not a neighbour — the simulated network has no
     /// routing; only edge-local communication exists.
     pub fn send(&mut self, to: Pid, msg: M) {
-        assert!(
-            self.neighbors.contains(&to),
-            "protocol attempted to send to non-neighbor {to}"
-        );
-        self.outgoing.push((to, msg));
+        let slot = self
+            .neighbors
+            .binary_search(&to)
+            .unwrap_or_else(|_| panic!("protocol attempted to send to non-neighbor {to}"));
+        self.outgoing.push((slot as u32, msg));
     }
 
     /// Sends `msg` to every distinct neighbour.
@@ -123,7 +130,7 @@ impl<'a, M: Clone> NodeContext<'a, M> {
                 continue;
             }
             last = Some(to);
-            self.outgoing.push((to, msg.clone()));
+            self.outgoing.push((i as u32, msg.clone()));
         }
     }
 }
@@ -137,7 +144,7 @@ mod tests {
         neighbors: &'a [Pid],
         inbox: &'a [Envelope<u8>],
         rng: &'a mut ChaCha8Rng,
-        outgoing: &'a mut Vec<(Pid, u8)>,
+        outgoing: &'a mut Vec<(u32, u8)>,
     ) -> NodeContext<'a, u8> {
         NodeContext {
             round: 3,
@@ -162,7 +169,20 @@ mod tests {
         let mut out = Vec::new();
         let mut c = ctx(&neighbors, &[], &mut rng, &mut out);
         c.broadcast(7);
-        assert_eq!(out, vec![(Pid(1), 7), (Pid(2), 7)]);
+        // One send per *distinct* neighbour, addressed by slot.
+        assert_eq!(out, vec![(0, 7), (2, 7)]);
+    }
+
+    #[test]
+    fn send_resolves_neighbor_slots() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let neighbors = [Pid(10), Pid(20), Pid(30)];
+        let mut out = Vec::new();
+        let mut c = ctx(&neighbors, &[], &mut rng, &mut out);
+        c.send(Pid(30), 1);
+        c.send(Pid(10), 2);
+        c.send(Pid(20), 3);
+        assert_eq!(out, vec![(2, 1), (0, 2), (1, 3)]);
     }
 
     #[test]

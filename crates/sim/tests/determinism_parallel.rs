@@ -1,12 +1,24 @@
-//! Determinism regression: the `parallel`-feature honest phase must
-//! produce **bit-identical** [`SimReport`]s to the serial path — same
-//! pids, rounds, metrics, outputs, decided rounds, halt flags, and stop
-//! reason — across seeds and topologies.
+//! Determinism regression: every execution mode must produce
+//! **bit-identical** [`SimReport`]s to the serial reference — same pids,
+//! rounds, metrics, outputs, decided rounds, halt flags, and stop reason —
+//! across seeds and topologies.
+//!
+//! The matrix covers the serial path, the `parallel`-feature honest
+//! phase, the sharded merge, and their composition (parallel compute +
+//! sharded delivery on worker threads):
+//!
+//! | mode      | compute          | delivery                        |
+//! |-----------|------------------|---------------------------------|
+//! | serial    | node order       | one counting-sort pass          |
+//! | parallel  | rayon fork-join  | one counting-sort pass          |
+//! | sharded   | node order       | per-destination-range shards    |
+//! | both      | rayon fork-join  | shards on rayon fork-join       |
 //!
 //! Without the `parallel` feature the `SimConfig::parallel` flag is an
-//! ignored no-op, so this suite then degenerates to serial-vs-serial; run
-//! it with `cargo test -p bcount-sim --features parallel` (CI does) for
-//! the real cross-path comparison.
+//! ignored no-op, so the parallel rows degenerate to serial compute (the
+//! sharded rows still exercise the shard partition); run with
+//! `cargo test -p bcount-sim --features parallel` (CI does) for the real
+//! cross-path comparison.
 
 use bcount_graph::gen::{cycle, hnd, torus2d};
 use bcount_graph::{Graph, NodeId};
@@ -74,7 +86,34 @@ impl Adversary<JitterFlood> for NoisyEcho {
     }
 }
 
-fn run(g: &Graph, byz: &[NodeId], seed: u64, parallel: bool) -> SimReport<u64> {
+/// One execution mode of the serial/parallel/sharded matrix.
+#[derive(Debug, Clone, Copy)]
+struct Mode {
+    parallel: bool,
+    sharded: bool,
+}
+
+/// The full matrix, serial reference first.
+const MODES: [Mode; 4] = [
+    Mode {
+        parallel: false,
+        sharded: false,
+    },
+    Mode {
+        parallel: true,
+        sharded: false,
+    },
+    Mode {
+        parallel: false,
+        sharded: true,
+    },
+    Mode {
+        parallel: true,
+        sharded: true,
+    },
+];
+
+fn run(g: &Graph, byz: &[NodeId], seed: u64, mode: Mode) -> SimReport<u64> {
     let mut sim = Simulation::new(
         g,
         byz,
@@ -88,7 +127,8 @@ fn run(g: &Graph, byz: &[NodeId], seed: u64, parallel: bool) -> SimReport<u64> {
             seed,
             max_rounds: 60,
             record_round_stats: true,
-            parallel,
+            parallel: mode.parallel,
+            sharded_merge: mode.sharded,
             ..SimConfig::default()
         },
     );
@@ -107,64 +147,91 @@ fn assert_identical(a: &SimReport<u64>, b: &SimReport<u64>) {
 }
 
 #[test]
-fn parallel_matches_serial_on_expanders() {
+fn mode_matrix_matches_serial_on_expanders() {
     for seed in [1u64, 0xC0DE, 987_654_321] {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let g = hnd(192, 8, &mut rng).unwrap();
         let byz = [NodeId(3), NodeId(77), NodeId(120)];
-        let serial = run(&g, &byz, seed, false);
-        let parallel = run(&g, &byz, seed, true);
-        assert_identical(&serial, &parallel);
+        let reference = run(&g, &byz, seed, MODES[0]);
+        for mode in &MODES[1..] {
+            let other = run(&g, &byz, seed, *mode);
+            assert_identical(&reference, &other);
+        }
     }
 }
 
 #[test]
-fn parallel_matches_serial_on_cycles_and_tori() {
+fn mode_matrix_matches_serial_on_cycles_and_tori() {
     for (seed, g) in [
         (7u64, cycle(257).unwrap()),
         (8u64, torus2d(12, 11).unwrap()),
         (9u64, cycle(3).unwrap()),
     ] {
         let byz = [NodeId(1)];
-        let serial = run(&g, &byz, seed, false);
-        let parallel = run(&g, &byz, seed, true);
-        assert_identical(&serial, &parallel);
+        let reference = run(&g, &byz, seed, MODES[0]);
+        for mode in &MODES[1..] {
+            let other = run(&g, &byz, seed, *mode);
+            assert_identical(&reference, &other);
+        }
     }
 }
 
 #[test]
-fn parallel_matches_serial_without_byzantine_nodes() {
+fn mode_matrix_matches_serial_without_byzantine_nodes() {
     let g = cycle(100).unwrap();
-    let serial = run(&g, &[], 5, false);
-    let parallel = run(&g, &[], 5, true);
-    assert_identical(&serial, &parallel);
+    let reference = run(&g, &[], 5, MODES[0]);
+    for mode in &MODES[1..] {
+        let other = run(&g, &[], 5, *mode);
+        assert_identical(&reference, &other);
+    }
 }
 
 #[test]
-fn parallel_step_interleaves_with_serial_state_reads() {
+fn mode_matrix_step_interleaves_with_serial_state_reads() {
     // step()-level equivalence, not just end-to-end: every intermediate
-    // round agrees.
+    // round agrees across the whole mode matrix, down to per-node state
+    // and raw inbox bytes.
     let g = cycle(64).unwrap();
     let factory = |_: NodeId, init: &NodeInit| JitterFlood {
         best: init.pid,
         noise: init.pid.0,
         rounds_left: 20,
     };
-    let cfg = |parallel| SimConfig {
+    let cfg = |mode: Mode| SimConfig {
         seed: 99,
         max_rounds: 25,
-        parallel,
+        parallel: mode.parallel,
+        sharded_merge: mode.sharded,
         ..SimConfig::default()
     };
-    let mut serial = Simulation::new(&g, &[NodeId(9)], factory, NoisyEcho, cfg(false));
-    let mut parallel = Simulation::new(&g, &[NodeId(9)], factory, NoisyEcho, cfg(true));
+    let mut sims: Vec<_> = MODES
+        .iter()
+        .map(|&m| Simulation::new(&g, &[NodeId(9)], factory, NoisyEcho, cfg(m)))
+        .collect();
     for _ in 0..20 {
-        serial.step();
-        parallel.step();
-        for u in 0..64 {
-            let s = serial.protocol(NodeId(u)).map(|p| (p.best, p.noise));
-            let p = parallel.protocol(NodeId(u)).map(|p| (p.best, p.noise));
-            assert_eq!(s, p, "node {u} state diverged at round {}", serial.round());
+        for sim in &mut sims {
+            sim.step();
+        }
+        let (reference, others) = sims.split_first().unwrap();
+        for (m, sim) in others.iter().enumerate() {
+            for u in 0..64 {
+                let s = reference.protocol(NodeId(u)).map(|p| (p.best, p.noise));
+                let p = sim.protocol(NodeId(u)).map(|p| (p.best, p.noise));
+                assert_eq!(
+                    s,
+                    p,
+                    "node {u} state diverged from serial in {:?} at round {}",
+                    MODES[m + 1],
+                    reference.round()
+                );
+                assert_eq!(
+                    reference.inbox(NodeId(u)),
+                    sim.inbox(NodeId(u)),
+                    "node {u} inbox diverged from serial in {:?} at round {}",
+                    MODES[m + 1],
+                    reference.round()
+                );
+            }
         }
     }
 }

@@ -64,11 +64,18 @@ impl Protocol for Chatter {
     }
 }
 
-fn main() {
+/// Runs one steady-state window and asserts it performs zero allocations.
+///
+/// Covers both delivery paths: the plain counting-sort scatter and the
+/// sharded merge (per-destination-range queues) — the sender-rank table,
+/// per-inbox rank/permutation scratch, and shard queues are all built or
+/// grown during warm-up and only reused afterwards.
+fn assert_zero_alloc_rounds(sharded_merge: bool) {
     let g = cycle(96).unwrap();
     let cfg = SimConfig {
         max_rounds: u64::MAX,
         stop_when: StopWhen::MaxRoundsOnly,
+        sharded_merge,
         ..SimConfig::default()
     };
     let mut sim = Simulation::new(
@@ -89,7 +96,13 @@ fn main() {
     let delta = ALLOCATIONS.load(Ordering::SeqCst) - before;
     assert_eq!(
         delta, 0,
-        "steady-state rounds must not allocate (saw {delta} allocations over 200 rounds)"
+        "steady-state rounds must not allocate \
+         (saw {delta} allocations over 200 rounds, sharded_merge={sharded_merge})"
     );
-    println!("zero_alloc: ok (0 allocations over 200 steady-state rounds)");
+}
+
+fn main() {
+    assert_zero_alloc_rounds(false);
+    assert_zero_alloc_rounds(true);
+    println!("zero_alloc: ok (0 allocations over 200 steady-state rounds, plain and sharded)");
 }

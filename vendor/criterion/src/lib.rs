@@ -14,6 +14,13 @@
 //! results print to stdout and the perf trajectory lives in committed logs
 //! (see `ROADMAP.md`). Swap in crates.io `criterion` (edit the `vendor/`
 //! path entries in the workspace `Cargo.toml`) for the full machinery.
+//!
+//! Two CLI conventions of real criterion are honoured so CI can smoke-test
+//! the benches: `--test` runs every selected benchmark exactly once with
+//! no timing (`cargo bench … -- --test`), and a positional argument
+//! filters benchmarks by substring of their full label (so
+//! `cargo bench -p bcount-bench engine -- --test` exercises the engine
+//! group and compiles-but-skips the rest). Other flags are ignored.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,14 +35,33 @@ pub struct Criterion {
     default_warm_up: Duration,
     default_measurement: Duration,
     default_sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" | "--quick" => test_mode = true,
+                // Harness flags cargo or users may pass; no-ops here.
+                s if s.starts_with('-') => {}
+                // First positional argument: substring label filter.
+                s => {
+                    if filter.is_none() {
+                        filter = Some(s.to_owned());
+                    }
+                }
+            }
+        }
         Criterion {
             default_warm_up: Duration::from_millis(500),
             default_measurement: Duration::from_secs(3),
             default_sample_size: 20,
+            test_mode,
+            filter,
         }
     }
 }
@@ -49,6 +75,8 @@ impl Criterion {
             measurement: self.default_measurement,
             sample_size: self.default_sample_size,
             throughput: None,
+            test_mode: self.test_mode,
+            filter: self.filter.clone(),
             _criterion: std::marker::PhantomData,
         }
     }
@@ -81,6 +109,8 @@ pub struct BenchmarkGroup<'a> {
     measurement: Duration,
     sample_size: usize,
     throughput: Option<Throughput>,
+    test_mode: bool,
+    filter: Option<String>,
     _criterion: std::marker::PhantomData<&'a mut Criterion>,
 }
 
@@ -142,6 +172,22 @@ impl<'a> BenchmarkGroup<'a> {
         } else {
             format!("{}/{}", self.name, label)
         };
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.test_mode {
+            // Smoke mode (`-- --test`): one untimed iteration, so compile
+            // or panic regressions surface without a measurement budget.
+            let mut bencher = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            println!("{full:<50} test mode: 1 iteration ok");
+            return;
+        }
         // Warm-up: run whole samples until the warm-up budget elapses.
         let warm_until = Instant::now() + self.warm_up;
         let mut bencher = Bencher {

@@ -19,12 +19,53 @@ pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
     VecStrategy { element, size }
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let len = rng.gen_range(self.size.clone());
         (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        let len = value.len();
+        let min = self.size.start;
+        // Prefix shrinks, best-first: all the way down to the minimum
+        // generated length, then halving, then dropping the tail element.
+        if len > min {
+            out.push(value[..min].to_vec());
+            let half = len / 2;
+            if half > min {
+                out.push(value[..half].to_vec());
+            }
+            if len - 1 > min && len - 1 != half {
+                out.push(value[..len - 1].to_vec());
+            }
+        }
+        // Element removal: lets the shrinker discard irrelevant elements
+        // anywhere, not just in the tail.
+        if len > min {
+            for i in 0..len {
+                let mut next = value.clone();
+                next.remove(i);
+                out.push(next);
+            }
+        }
+        // Element-wise shrinking: simplify each position in place with the
+        // element strategy's full candidate ladder (the binary descent
+        // needs its later rungs to converge on failure boundaries).
+        for i in 0..len {
+            for candidate in self.element.shrink(&value[i]) {
+                let mut next = value.clone();
+                next[i] = candidate;
+                out.push(next);
+            }
+        }
+        out
     }
 }
 

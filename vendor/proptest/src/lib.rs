@@ -11,11 +11,14 @@
 //! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
 //!   [`prop_assume!`].
 //!
-//! Case generation is deterministic (fixed-seed ChaCha8). **No shrinking**:
-//! a failing case reports its inputs but is not minimized. That trade-off
-//! keeps the vendored crate small; swap in crates.io `proptest` (edit the
-//! `vendor/` path entries in the workspace `Cargo.toml`) to get shrinking
-//! back.
+//! Case generation is deterministic (fixed-seed ChaCha8). Failing cases
+//! are **greedily shrunk**: integers halve toward their minimum, vectors
+//! shrink by prefix truncation, element removal, and element-wise
+//! simplification, tuples component-wise (see [`strategy::Strategy::shrink`];
+//! `prop_map`ped strategies do not shrink — the mapping is not
+//! invertible). The failure report shows the minimal failing input. Swap
+//! in crates.io `proptest` (edit the `vendor/` path entries in the
+//! workspace `Cargo.toml`) for its full tree-based shrinking.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -99,8 +102,8 @@ macro_rules! __proptest_case {
     };
 }
 
-/// Asserts a condition inside a property test; a failure reports the
-/// current case's inputs and fails the test without shrinking.
+/// Asserts a condition inside a property test; a failure triggers the
+/// shrinker and fails the test with the minimized case's inputs.
 #[macro_export]
 macro_rules! prop_assert {
     ($cond:expr) => {

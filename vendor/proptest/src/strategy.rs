@@ -1,4 +1,13 @@
-//! Value-generation strategies (no shrinking).
+//! Value-generation strategies, with greedy shrinking.
+//!
+//! Shrinking here is value-based rather than proptest's tree-based design:
+//! a strategy proposes *strictly simpler* candidates for a failing value
+//! ([`Strategy::shrink`]), and the runner greedily re-tests them,
+//! restarting from the first candidate that still fails. Integers shrink
+//! by binary jumps toward their minimum (halving deltas), vectors by
+//! prefix truncation, element removal, and element-wise shrinking.
+//! [`Strategy::prop_map`]ped strategies do not shrink (the mapping is not
+//! invertible).
 
 use crate::test_runner::TestRng;
 use rand::Rng;
@@ -11,7 +20,19 @@ pub trait Strategy {
     /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Proposes strictly simpler candidates for a failing `value`,
+    /// best-first (most aggressive simplification leading). An empty
+    /// vector means the value is minimal (or the strategy cannot shrink —
+    /// the default).
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+
     /// Maps generated values through `f`.
+    ///
+    /// Mapped strategies do not shrink: `f` is not invertible, so failing
+    /// outputs cannot be traced back to simpler inputs.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
@@ -19,6 +40,25 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+}
+
+/// Shrink candidates for an integer, best-first: the target itself (the
+/// biggest jump), then binary steps back toward `value` (halving the
+/// remaining delta), ending next to `value`. Works in `i128` so every
+/// primitive integer type fits; all candidates lie strictly between
+/// `target` and `value`, plus `target` itself.
+fn int_shrink_candidates(value: i128, target: i128) -> Vec<i128> {
+    let mut out = Vec::new();
+    if value == target {
+        return out;
+    }
+    out.push(target);
+    let mut delta = (value - target) / 2;
+    while delta != 0 {
+        out.push(value - delta);
+        delta /= 2;
+    }
+    out
 }
 
 /// See [`Strategy::prop_map`].
@@ -57,6 +97,13 @@ impl<T: Clone> Strategy for Just<T> {
 pub trait Arbitrary: Sized {
     /// Draws one unconstrained value.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Proposes strictly simpler candidates for `value`, best-first
+    /// (mirrors [`Strategy::shrink`] for the whole-domain strategy).
+    fn shrink(value: &Self) -> Vec<Self> {
+        let _ = value;
+        Vec::new()
+    }
 }
 
 macro_rules! arbitrary_uniform_int {
@@ -64,6 +111,14 @@ macro_rules! arbitrary_uniform_int {
         impl Arbitrary for $t {
             fn arbitrary(rng: &mut TestRng) -> $t {
                 rand::RngCore::next_u64(rng) as $t
+            }
+
+            fn shrink(value: &$t) -> Vec<$t> {
+                // Halve toward zero (from either sign).
+                int_shrink_candidates(*value as i128, 0)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
             }
         }
     )*};
@@ -75,6 +130,14 @@ impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> bool {
         rand::RngCore::next_u32(rng) & 1 == 1
     }
+
+    fn shrink(value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
 }
 
 impl Arbitrary for f64 {
@@ -83,11 +146,25 @@ impl Arbitrary for f64 {
         // for the workspace's numeric properties.
         rng.gen_range(-1.0e12..1.0e12)
     }
+
+    fn shrink(value: &f64) -> Vec<f64> {
+        if *value == 0.0 || !value.is_finite() {
+            return Vec::new();
+        }
+        vec![0.0, value / 2.0]
+    }
 }
 
 impl Arbitrary for f32 {
     fn arbitrary(rng: &mut TestRng) -> f32 {
         rng.gen_range(-1.0e6f32..1.0e6)
+    }
+
+    fn shrink(value: &f32) -> Vec<f32> {
+        if *value == 0.0 || !value.is_finite() {
+            return Vec::new();
+        }
+        vec![0.0, value / 2.0]
     }
 }
 
@@ -106,6 +183,10 @@ impl<T: Arbitrary> Strategy for Any<T> {
     fn sample(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
     }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink(value)
+    }
 }
 
 macro_rules! range_strategy {
@@ -116,6 +197,15 @@ macro_rules! range_strategy {
             fn sample(&self, rng: &mut TestRng) -> $t {
                 rng.gen_range(self.clone())
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                // Halve toward the range's lower bound; every candidate
+                // stays inside the range.
+                int_shrink_candidates(*value as i128, self.start as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
         }
 
         impl Strategy for core::ops::RangeInclusive<$t> {
@@ -123,6 +213,13 @@ macro_rules! range_strategy {
 
             fn sample(&self, rng: &mut TestRng) -> $t {
                 rng.gen_range(*self.start()..=*self.end())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_candidates(*value as i128, *self.start() as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
             }
         }
     )*};
@@ -136,6 +233,16 @@ impl Strategy for core::ops::Range<f64> {
     fn sample(&self, rng: &mut TestRng) -> f64 {
         rng.gen_range(self.clone())
     }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        if *value == self.start {
+            return Vec::new();
+        }
+        [self.start, self.start + (*value - self.start) / 2.0]
+            .into_iter()
+            .filter(|c| c != value)
+            .collect()
+    }
 }
 
 impl Strategy for core::ops::Range<f32> {
@@ -144,15 +251,42 @@ impl Strategy for core::ops::Range<f32> {
     fn sample(&self, rng: &mut TestRng) -> f32 {
         rng.gen_range(self.clone())
     }
+
+    fn shrink(&self, value: &f32) -> Vec<f32> {
+        if *value == self.start {
+            return Vec::new();
+        }
+        [self.start, self.start + (*value - self.start) / 2.0]
+            .into_iter()
+            .filter(|c| c != value)
+            .collect()
+    }
 }
 
 macro_rules! tuple_strategy {
     ($(($($s:ident . $idx:tt),+)),* $(,)?) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone),+
+        {
             type Value = ($($s::Value,)+);
 
             fn sample(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.sample(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // Component-wise: shrink each position while holding the
+                // others fixed, earlier components first.
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )*};

@@ -16,8 +16,8 @@ pub struct ProptestConfig {
     /// stops early; unlike proptest this is not an error, the test simply
     /// passes on fewer cases.
     pub max_global_rejects: u32,
-    /// Unused (kept so `..ProptestConfig::default()` spreads keep working
-    /// when code written against real proptest sets it).
+    /// Total budget of shrink attempts (candidate re-executions) spent
+    /// minimizing one failing case. `0` disables shrinking.
     pub max_shrink_iters: u32,
 }
 
@@ -26,7 +26,7 @@ impl Default for ProptestConfig {
         ProptestConfig {
             cases: 256,
             max_global_rejects: 1024,
-            max_shrink_iters: 0,
+            max_shrink_iters: 1024,
         }
     }
 }
@@ -62,8 +62,10 @@ impl TestRunner {
         TestRunner { config }
     }
 
-    /// Runs up to `cases` generated inputs through `test`. Returns the
-    /// failure message of the first failing case, if any.
+    /// Runs up to `cases` generated inputs through `test`. A failing case
+    /// is greedily minimized through [`Strategy::shrink`] (up to
+    /// [`ProptestConfig::max_shrink_iters`] candidate re-executions);
+    /// returns the minimal failing input's message.
     pub fn run<S>(
         &mut self,
         name: &str,
@@ -90,13 +92,175 @@ impl TestRunner {
                 Ok(()) => passed += 1,
                 Err(TestCaseError::Reject) => rejected += 1,
                 Err(TestCaseError::Fail(message)) => {
+                    let (minimal, message, steps) =
+                        shrink_failure(strategy, shown, message, &mut test, &self.config);
                     return Err(format!(
-                        "proptest case failed: {message}\n  inputs: {shown:?}\n  \
-                         (vendored mini-proptest: no shrinking; case {passed}, test `{name}`)"
+                        "proptest case failed: {message}\n  minimal failing input: {minimal:?}\n  \
+                         (vendored mini-proptest: {steps} shrink steps; \
+                         case {passed}, test `{name}`)"
                     ));
                 }
             }
         }
         Ok(())
+    }
+}
+
+/// Greedy shrinking: repeatedly asks the strategy for simpler candidates of
+/// the current minimal failing input and restarts from the first candidate
+/// that still fails, until no candidate fails or the budget is spent.
+/// Rejected candidates (failed `prop_assume!`) count as passing.
+fn shrink_failure<S>(
+    strategy: &S,
+    mut minimal: S::Value,
+    mut message: String,
+    test: &mut impl FnMut(S::Value) -> TestCaseResult,
+    config: &ProptestConfig,
+) -> (S::Value, String, u32)
+where
+    S: Strategy,
+    S::Value: Clone,
+{
+    let mut steps = 0u32;
+    'minimize: while steps < config.max_shrink_iters {
+        for candidate in strategy.shrink(&minimal) {
+            if steps >= config.max_shrink_iters {
+                break 'minimize;
+            }
+            steps += 1;
+            let shown = candidate.clone();
+            if let Err(TestCaseError::Fail(better)) = test(candidate) {
+                minimal = shown;
+                message = better;
+                continue 'minimize;
+            }
+        }
+        break;
+    }
+    (minimal, message, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn failure_message<S>(
+        strategy: &S,
+        test: impl FnMut(S::Value) -> TestCaseResult,
+    ) -> Option<String>
+    where
+        S: Strategy,
+        S::Value: std::fmt::Debug + Clone,
+    {
+        let mut runner = TestRunner::new(ProptestConfig::default());
+        runner.run("shrinking_unit_test", strategy, test).err()
+    }
+
+    #[test]
+    fn integers_shrink_to_the_failure_boundary() {
+        // Fails for v ⩾ 100: the shrinker must land exactly on 100.
+        let msg = failure_message(&((0u64..10_000),), |(v,)| {
+            if v < 100 {
+                Ok(())
+            } else {
+                Err(TestCaseError::fail(format!("too big: {v}")))
+            }
+        })
+        .expect("property must fail");
+        assert!(
+            msg.contains("minimal failing input: (100,)"),
+            "not minimized to the boundary: {msg}"
+        );
+    }
+
+    #[test]
+    fn range_shrinking_respects_the_lower_bound() {
+        // Everything fails: the minimum must be the range start.
+        let msg = failure_message(&((7i32..500),), |(_v,)| {
+            Err(TestCaseError::fail("always".into()))
+        })
+        .expect("property must fail");
+        assert!(
+            msg.contains("minimal failing input: (7,)"),
+            "not minimized to the range start: {msg}"
+        );
+    }
+
+    #[test]
+    fn vecs_shrink_to_a_single_offending_element() {
+        // Fails when any element exceeds 1000: minimal case is the vector
+        // [1001] (prefix + removal shrinking drop everything else, element
+        // shrinking lands on the boundary).
+        let strategy = (crate::collection::vec(0u64..10_000, 0..8),);
+        let msg = failure_message(&strategy, |(v,)| {
+            if v.iter().all(|&x| x <= 1000) {
+                Ok(())
+            } else {
+                Err(TestCaseError::fail(format!("offender in {v:?}")))
+            }
+        })
+        .expect("property must fail");
+        assert!(
+            msg.contains("minimal failing input: ([1001],)"),
+            "not minimized to the single offender: {msg}"
+        );
+    }
+
+    #[test]
+    fn tuples_shrink_component_wise() {
+        // Fails when flag && v > 5; the flag is load-bearing (cannot
+        // shrink to false) but v must minimize to 6.
+        let msg = failure_message(&(crate::strategy::any::<bool>(), 0u32..100), |(flag, v)| {
+            if flag && v > 5 {
+                Err(TestCaseError::fail("both".into()))
+            } else {
+                Ok(())
+            }
+        })
+        .expect("property must fail");
+        assert!(
+            msg.contains("minimal failing input: (true, 6)"),
+            "not minimized component-wise: {msg}"
+        );
+    }
+
+    #[test]
+    fn shrinking_can_be_disabled() {
+        let mut runner = TestRunner::new(ProptestConfig {
+            max_shrink_iters: 0,
+            ..ProptestConfig::default()
+        });
+        let msg = runner
+            .run("no_shrinking", &((0u64..1000),), |(v,)| {
+                if v < 100 {
+                    Ok(())
+                } else {
+                    Err(TestCaseError::fail(format!("v={v}")))
+                }
+            })
+            .expect_err("property must fail");
+        assert!(msg.contains("0 shrink steps"), "{msg}");
+    }
+
+    #[test]
+    fn rejected_shrink_candidates_do_not_count_as_failures() {
+        // Candidates below 50 are rejected; the minimum reachable failing
+        // input is therefore the first failing value at/above the original
+        // assume boundary — shrinking must stop at 100 (candidates in
+        // 50..100 pass, candidates below 50 reject).
+        let msg = failure_message(&((0u64..10_000),), |(v,)| {
+            if v < 50 {
+                Err(TestCaseError::Reject)
+            } else if v < 100 {
+                Ok(())
+            } else {
+                Err(TestCaseError::fail(format!("v={v}")))
+            }
+        })
+        .expect("property must fail");
+        assert!(
+            msg.contains("minimal failing input: (100,)"),
+            "reject treated as failure during shrinking: {msg}"
+        );
     }
 }

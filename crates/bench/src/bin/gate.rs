@@ -1,0 +1,337 @@
+//! CI gate over the JSON artifacts.
+//!
+//! ```text
+//! # Validate an experiments artifact (schema tag, no NaNs, every cell
+//! # has an outcome):
+//! cargo run -p bcount-bench --bin gate -- schema out.json
+//!
+//! # Compare a fresh bench artifact against the committed baseline and
+//! # fail on steady-state regressions beyond the tolerance:
+//! cargo run -p bcount-bench --bin gate -- perf \
+//!     --baseline BENCH_BASELINE.json --current bench.json \
+//!     --tolerance 0.30 --filter reuse_buffers
+//! ```
+//!
+//! Exit codes: 0 = pass, 1 = gate failure (regression / invalid
+//! artifact), 2 = usage or I/O error.
+
+use bcount_json::{check_schema, Json};
+use std::process::ExitCode;
+
+const EXPERIMENTS_SCHEMA: &str = "bcount-experiments/v1";
+const BENCH_SCHEMA: &str = "bcount-bench/v1";
+
+/// The outcome keys every scenario cell must carry (kept in sync with
+/// `bcount_bench::scenario::CellOutcome`'s `ToJson`).
+const OUTCOME_KEYS: &[&str] = &[
+    "all",
+    "far",
+    "decision_rounds",
+    "rounds",
+    "stop_reason",
+    "raw_median",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("schema") => match args.get(1) {
+            Some(path) => check_experiments_artifact(path),
+            None => usage("schema <artifact.json>"),
+        },
+        Some("perf") => perf_gate(&args[1..]),
+        _ => usage("schema|perf"),
+    }
+}
+
+fn usage(expected: &str) -> ExitCode {
+    eprintln!("usage: gate {expected}");
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// `gate schema` — experiments-artifact validation.
+// ---------------------------------------------------------------------------
+
+fn check_experiments_artifact(path: &str) -> ExitCode {
+    let doc = match load(path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("schema gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match validate_experiments(&doc) {
+        Ok(summary) => {
+            println!("schema gate: {path} ok ({summary})");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("schema gate: {path} INVALID: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn validate_experiments(doc: &Json) -> Result<String, String> {
+    check_schema(doc, EXPERIMENTS_SCHEMA).map_err(|e| e.to_string())?;
+    if let Some(bad) = doc.first_non_finite() {
+        return Err(format!("artifact contains a non-finite number ({bad})"));
+    }
+    let experiments = doc
+        .get("experiments")
+        .and_then(Json::as_arr)
+        .ok_or("missing 'experiments' array")?;
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(Json::as_arr)
+        .ok_or("missing 'scenarios' array")?;
+    if experiments.is_empty() && scenarios.is_empty() {
+        return Err("artifact is empty: no experiments and no scenario cells".into());
+    }
+    let mut cell_count = 0usize;
+    for exp in experiments {
+        let name = exp
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("experiment without a 'name'")?;
+        let table = exp
+            .get("table")
+            .ok_or_else(|| format!("experiment {name}: missing 'table'"))?;
+        for key in ["title", "headers", "rows"] {
+            if table.get(key).is_none() {
+                return Err(format!("experiment {name}: table missing '{key}'"));
+            }
+        }
+        let cells = exp
+            .get("cells")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("experiment {name}: missing 'cells' array"))?;
+        for cell in cells {
+            validate_cell(cell)?;
+            cell_count += 1;
+        }
+    }
+    for cell in scenarios {
+        validate_cell(cell)?;
+        cell_count += 1;
+    }
+    Ok(format!(
+        "{} experiments, {} scenario cells, {} cells total",
+        experiments.len(),
+        scenarios.len(),
+        cell_count
+    ))
+}
+
+fn validate_cell(cell: &Json) -> Result<(), String> {
+    let scenario = cell
+        .get("scenario")
+        .and_then(Json::as_str)
+        .ok_or("cell without a 'scenario' name")?;
+    for key in ["family", "protocol", "adversary", "n", "seed"] {
+        if cell.get(key).is_none() {
+            return Err(format!("cell of {scenario}: missing '{key}'"));
+        }
+    }
+    let outcome = cell
+        .get("outcome")
+        .ok_or_else(|| format!("cell of {scenario}: missing 'outcome'"))?;
+    for key in OUTCOME_KEYS {
+        if outcome.get(key).is_none() {
+            return Err(format!("cell of {scenario}: outcome missing '{key}'"));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// `gate perf` — bench-artifact regression comparison.
+// ---------------------------------------------------------------------------
+
+struct PerfArgs {
+    baseline: String,
+    current: String,
+    tolerance: f64,
+    filter: String,
+}
+
+fn parse_perf_args(args: &[String]) -> Result<PerfArgs, String> {
+    let mut parsed = PerfArgs {
+        baseline: String::new(),
+        current: String::new(),
+        tolerance: 0.30,
+        filter: "reuse_buffers".into(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--baseline" => parsed.baseline = value("--baseline")?,
+            "--current" => parsed.current = value("--current")?,
+            "--tolerance" => {
+                parsed.tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("--tolerance: {e}"))?
+            }
+            "--filter" => parsed.filter = value("--filter")?,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if parsed.baseline.is_empty() || parsed.current.is_empty() {
+        return Err("--baseline and --current are required".into());
+    }
+    if !(0.0..10.0).contains(&parsed.tolerance) {
+        return Err(format!("implausible tolerance {}", parsed.tolerance));
+    }
+    Ok(parsed)
+}
+
+/// A bench record reduced to what the gate compares: the per-iteration
+/// mean time, plus the throughput rate when the bench declares one.
+struct BenchMeasure {
+    mean_ns: f64,
+    rate_per_sec: Option<f64>,
+}
+
+fn bench_records(doc: &Json, path: &str) -> Result<Vec<(String, BenchMeasure)>, String> {
+    check_schema(doc, BENCH_SCHEMA).map_err(|e| format!("{path}: {e}"))?;
+    let records = doc
+        .get("records")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: missing 'records' array"))?;
+    let mut out = Vec::new();
+    for r in records {
+        let label = r
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: record without a label"))?;
+        let mean_ns = r
+            .get("mean_ns")
+            .and_then(Json::as_num)
+            .map(|n| n.as_f64())
+            .ok_or_else(|| format!("{path}: record '{label}' without mean_ns"))?;
+        let rate_per_sec = r
+            .get("rate_per_sec")
+            .and_then(Json::as_num)
+            .map(|n| n.as_f64());
+        out.push((
+            label.to_owned(),
+            BenchMeasure {
+                mean_ns,
+                rate_per_sec,
+            },
+        ));
+    }
+    Ok(out)
+}
+
+fn perf_gate(args: &[String]) -> ExitCode {
+    let args = match parse_perf_args(args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("perf gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (baseline_doc, current_doc) = match (load(&args.baseline), load(&args.current)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("perf gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match bench_records(&baseline_doc, &args.baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("perf gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let current = match bench_records(&current_doc, &args.current) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("perf gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let gated: Vec<&(String, BenchMeasure)> = baseline
+        .iter()
+        .filter(|(label, _)| label.contains(&args.filter))
+        .collect();
+    if gated.is_empty() {
+        eprintln!(
+            "perf gate: baseline {} has no records matching filter '{}'",
+            args.baseline, args.filter
+        );
+        return ExitCode::FAILURE;
+    }
+    let mut regressions = Vec::new();
+    println!(
+        "perf gate: tolerance {:.0}%, {} gated benchmarks (filter '{}')",
+        args.tolerance * 100.0,
+        gated.len(),
+        args.filter
+    );
+    for (label, base) in gated {
+        let Some((_, cur)) = current.iter().find(|(l, _)| l == label) else {
+            regressions.push(format!("{label}: missing from current run"));
+            println!("  {label:<50} MISSING");
+            continue;
+        };
+        // Prefer throughput (higher = better); fall back to mean time
+        // (lower = better). `change` is the fractional regression.
+        let (change, shown) = match (base.rate_per_sec, cur.rate_per_sec) {
+            (Some(b), Some(c)) if b > 0.0 => (
+                (b - c) / b,
+                format!("{:.3}K -> {:.3}K elem/s", b / 1e3, c / 1e3),
+            ),
+            _ if base.mean_ns > 0.0 => {
+                let change = (cur.mean_ns - base.mean_ns) / base.mean_ns;
+                (
+                    change,
+                    format!("{:.2}ms -> {:.2}ms", base.mean_ns / 1e6, cur.mean_ns / 1e6),
+                )
+            }
+            _ => (0.0, "empty baseline measurement".into()),
+        };
+        let verdict = if change > args.tolerance {
+            regressions.push(format!(
+                "{label}: {:.1}% regression ({shown})",
+                change * 100.0
+            ));
+            "REGRESSED"
+        } else if change < -args.tolerance {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {label:<50} {verdict:<10} {shown} ({:+.1}%)",
+            -change * 100.0
+        );
+    }
+    if regressions.is_empty() {
+        println!("perf gate: pass");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("perf gate: FAIL");
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        eprintln!(
+            "(refresh the baseline with: BCOUNT_BENCH_JSON=BENCH_BASELINE.json \
+             cargo bench -p bcount-bench engine -- --test ; see README)"
+        );
+        ExitCode::FAILURE
+    }
+}

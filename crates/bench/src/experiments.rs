@@ -1,27 +1,31 @@
 //! The experiment suite E1–E14 (see DESIGN.md §5 for the per-claim index).
 //!
-//! Every function runs simulations and returns a printable [`Table`].
+//! Sweep-style experiments (E1–E6, E9, E13, E14) are declarative
+//! [`Scenario`]s executed by the generic matrix runner in
+//! [`crate::scenario`]; each experiment maps the resulting [`CellRecord`]s
+//! into a printable [`Table`] and keeps the cells alongside for the
+//! `--json` artifact. Bespoke constructions (E7's structural census, E8's
+//! phantom-copy graphs, E10's pipeline, E11/E12's ablations) run their own
+//! loops and carry no cells.
+//!
 //! `quick = true` shrinks the sweeps for smoke-testing; the reference run
 //! recorded in EXPERIMENTS.md uses `quick = false` in release mode.
 
 use bcount_apps::{counting_then_agreement, AgreementParams, AgreementProtocol};
-use bcount_baselines::{
-    BirthdayCounting, CollisionFakerAdversary, Convergecast, CountLiarAdversary, GeometricMax,
-    MaxFakerAdversary, SupportEstimation, ZeroFakerAdversary,
-};
 use bcount_core::adversary::phantom::phantom_copies;
-use bcount_core::adversary::{BeaconSpamAdversary, FakeExpanderAdversary, PathTamperAdversary};
+use bcount_core::adversary::{BeaconSpamAdversary, FakeExpanderAdversary};
 use bcount_core::congest::CongestParams;
-use bcount_core::estimate::{Band, EstimateReport};
+use bcount_core::estimate::Band;
 use bcount_core::local::{LocalConfig, LocalTrigger};
 use bcount_graph::analysis::bfs::diameter;
 use bcount_graph::analysis::treelike::{tree_like_count, tree_like_radius};
 use bcount_graph::{Graph, NodeId};
 use bcount_sim::{NullAdversary, SimConfig, Simulation};
 
-use crate::runners::{
-    far_honest_nodes, network, run_congest, run_local, spread_byzantine, theorem1_budget,
-    theorem2_budget,
+use crate::runners::{far_honest_nodes, network, run_congest, run_local, spread_byzantine};
+use crate::scenario::{
+    run_scenario, AdversarySpec, BudgetSpec, CellRecord, GraphFamily, Placement, ProtocolSpec,
+    Scenario,
 };
 use crate::stats::{fitted_exponent, median, percentile};
 use crate::table::Table;
@@ -37,33 +41,357 @@ pub const CONGEST_BAND: Band = Band { lo: 0.15, hi: 3.0 };
 
 const D: usize = 8;
 
-fn congest_estimates(
-    report: &bcount_sim::SimReport<bcount_core::congest::CongestEstimate>,
-    nodes: &[usize],
-) -> Vec<Option<f64>> {
-    nodes
-        .iter()
-        .map(|&u| report.outputs[u].map(|e| f64::from(e.estimate)))
-        .collect()
+/// One experiment's output: the printable table plus the machine-readable
+/// cell records behind it (empty for bespoke, non-sweep experiments).
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// The experiment's short name (`e1` … `e14`).
+    pub name: String,
+    /// The paper-style table.
+    pub table: Table,
+    /// The scenario cells the table was derived from.
+    pub cells: Vec<CellRecord>,
 }
 
-fn local_estimates(
-    report: &bcount_sim::SimReport<bcount_core::local::LocalEstimate>,
-    nodes: &[usize],
-) -> Vec<Option<f64>> {
-    nodes
-        .iter()
-        .map(|&u| report.outputs[u].map(|e| f64::from(e.radius)))
-        .collect()
+impl ExperimentResult {
+    fn bespoke(name: &str, table: Table) -> Self {
+        ExperimentResult {
+            name: name.into(),
+            table,
+            cells: Vec::new(),
+        }
+    }
 }
 
 fn fmt(v: f64) -> String {
     format!("{v:.2}")
 }
 
+/// The scenario template most sweeps start from.
+fn base_scenario(name: &str) -> Scenario {
+    Scenario {
+        name: name.into(),
+        family: GraphFamily::Hnd { d: D },
+        sizes: Vec::new(),
+        quick_sizes: Vec::new(),
+        budgets: vec![BudgetSpec::None],
+        quick_budgets: Vec::new(),
+        placements: vec![Placement::Spread],
+        adversary: AdversarySpec::Null,
+        protocol: ProtocolSpec::Congest(CongestParams::default()),
+        band: CONGEST_BAND,
+        seeds: vec![0],
+        max_rounds: 8_000,
+        graph_seed_base: 0,
+        run_to_halt: false,
+    }
+}
+
+/// Runs a scenario list in quick/full mode and interleaves the cells by
+/// size (scenario order within one size), matching the historical row
+/// order of the printed tables.
+fn sweep(scenarios: &[Scenario], quick: bool) -> Vec<CellRecord> {
+    let mut cells: Vec<CellRecord> = scenarios
+        .iter()
+        .flat_map(|s| run_scenario(s, quick, None))
+        .collect();
+    cells.sort_by_key(|c| c.n); // stable: keeps scenario order within n
+    cells
+}
+
+// ---------------------------------------------------------------------------
+// Scenario definitions (shared by the experiments and the `--scenario`
+// matrix).
+// ---------------------------------------------------------------------------
+
+/// E1's scenarios: LOCAL under Theorem 1 budgets, silent vs fake-expander.
+pub fn e1_scenarios() -> Vec<Scenario> {
+    [
+        AdversarySpec::Null,
+        AdversarySpec::FakeExpander {
+            multiplier: 2,
+            d_fake: D,
+            entries: 2,
+            seed: 7,
+        },
+    ]
+    .into_iter()
+    .map(|adversary| Scenario {
+        sizes: vec![64, 128, 256, 512],
+        quick_sizes: vec![64, 128],
+        budgets: vec![BudgetSpec::Theorem1 { gamma: 0.7 }],
+        adversary,
+        protocol: ProtocolSpec::Local(LocalConfig {
+            max_degree: D + 2,
+            ..LocalConfig::default()
+        }),
+        band: LOCAL_BAND,
+        seeds: vec![1],
+        max_rounds: 200,
+        graph_seed_base: 1000,
+        ..base_scenario(&format!("e1/local/{}", adversary.label()))
+    })
+    .collect()
+}
+
+/// E2's scenario: benign LOCAL round complexity.
+pub fn e2_scenarios() -> Vec<Scenario> {
+    vec![Scenario {
+        sizes: vec![64, 128, 256, 512, 1024],
+        quick_sizes: vec![64, 256],
+        protocol: ProtocolSpec::Local(LocalConfig {
+            max_degree: D,
+            ..LocalConfig::default()
+        }),
+        band: LOCAL_BAND,
+        seeds: vec![1],
+        max_rounds: 200,
+        graph_seed_base: 2000,
+        ..base_scenario("e2/local/benign")
+    }]
+}
+
+/// E3's scenarios: CONGEST under Theorem 2 budgets, beacon spam vs path
+/// tampering.
+pub fn e3_scenarios() -> Vec<Scenario> {
+    [AdversarySpec::BeaconSpam, AdversarySpec::PathTamper]
+        .into_iter()
+        .map(|adversary| Scenario {
+            sizes: vec![128, 256, 512, 1024],
+            quick_sizes: vec![128, 256],
+            budgets: vec![BudgetSpec::Theorem2 { xi: 0.05 }],
+            adversary,
+            seeds: vec![17],
+            graph_seed_base: 3000,
+            ..base_scenario(&format!("e3/congest/{}", adversary.label()))
+        })
+        .collect()
+}
+
+/// E4's scenarios: CONGEST decision rounds vs the Byzantine budget.
+pub fn e4_scenarios() -> Vec<Scenario> {
+    let sizes = |s: Scenario| Scenario {
+        sizes: vec![512],
+        quick_sizes: vec![128],
+        seeds: vec![77],
+        max_rounds: 12_000,
+        graph_seed_base: 4000,
+        ..s
+    };
+    vec![
+        sizes(base_scenario("e4/congest/benign")),
+        sizes(Scenario {
+            budgets: [2usize, 4, 8, 16, 32]
+                .iter()
+                .map(|&b| BudgetSpec::Fixed(b))
+                .collect(),
+            quick_budgets: vec![BudgetSpec::Fixed(4)],
+            adversary: AdversarySpec::BeaconSpam,
+            ..base_scenario("e4/congest/beacon-spam")
+        }),
+    ]
+}
+
+/// E5's scenarios: message sizes for CONGEST (benign + spam) and LOCAL.
+pub fn e5_scenarios() -> Vec<Scenario> {
+    let sized = |s: Scenario| Scenario {
+        sizes: vec![128, 256, 512],
+        quick_sizes: vec![128],
+        seeds: vec![5],
+        graph_seed_base: 5000,
+        ..s
+    };
+    vec![
+        sized(base_scenario("e5/congest/benign")),
+        sized(Scenario {
+            budgets: vec![BudgetSpec::Theorem2 { xi: 0.05 }],
+            adversary: AdversarySpec::BeaconSpam,
+            ..base_scenario("e5/congest/beacon-spam")
+        }),
+        sized(Scenario {
+            protocol: ProtocolSpec::Local(LocalConfig {
+                max_degree: D,
+                ..LocalConfig::default()
+            }),
+            band: LOCAL_BAND,
+            max_rounds: 200,
+            ..base_scenario("e5/local/benign")
+        }),
+    ]
+}
+
+/// E6's scenario: benign CONGEST run to termination.
+pub fn e6_scenarios() -> Vec<Scenario> {
+    vec![Scenario {
+        sizes: vec![64, 128, 256, 512, 1024, 2048],
+        quick_sizes: vec![64, 256],
+        seeds: vec![0],
+        max_rounds: 60_000,
+        graph_seed_base: 6000,
+        run_to_halt: true,
+        ..base_scenario("e6/congest/benign")
+    }]
+}
+
+/// E9's scenarios: every classical baseline, benign and under one
+/// Byzantine node, plus this paper's CONGEST algorithm for contrast.
+pub fn e9_scenarios() -> Vec<Scenario> {
+    // Shared sweep coordinates. The band/round budget are NOT set here:
+    // struct-update syntax would override per-scenario values (the
+    // baselines want the wide raw-value band, the CONGEST contrast wants
+    // the paper's band).
+    let sized = |s: Scenario| Scenario {
+        sizes: vec![256],
+        quick_sizes: vec![64],
+        seeds: vec![13],
+        graph_seed_base: 9000,
+        ..s
+    };
+    // Baselines report native quantities (`n`, `log₂ n`), so the ln-scale
+    // band check is moot for them — open it wide and give the slower
+    // baselines their historical round budget.
+    let baseline = |s: Scenario| {
+        sized(Scenario {
+            max_rounds: 100_000,
+            band: Band {
+                lo: 0.0,
+                hi: 1.0e12,
+            },
+            ..s
+        })
+    };
+    // One Byzantine node away from node 0, which convergecast uses as its
+    // root (a Byzantine root would leave nobody to report the count).
+    let attacked = |s: Scenario| Scenario {
+        budgets: vec![BudgetSpec::Fixed(1)],
+        placements: vec![Placement::At { start: 7 }],
+        ..s
+    };
+    vec![
+        baseline(Scenario {
+            protocol: ProtocolSpec::GeometricMax { budget: 40 },
+            ..base_scenario("e9/geometric-max/benign")
+        }),
+        baseline(attacked(Scenario {
+            protocol: ProtocolSpec::GeometricMax { budget: 40 },
+            adversary: AdversarySpec::MaxFaker {
+                fake_value: 1_000_000,
+            },
+            ..base_scenario("e9/geometric-max/max-faker")
+        })),
+        baseline(Scenario {
+            protocol: ProtocolSpec::Support { k: 64, budget: 40 },
+            ..base_scenario("e9/support-estimation/benign")
+        }),
+        baseline(attacked(Scenario {
+            protocol: ProtocolSpec::Support { k: 64, budget: 40 },
+            adversary: AdversarySpec::ZeroFaker { k: 64 },
+            ..base_scenario("e9/support-estimation/zero-faker")
+        })),
+        baseline(Scenario {
+            protocol: ProtocolSpec::Convergecast,
+            ..base_scenario("e9/convergecast/benign")
+        }),
+        baseline(attacked(Scenario {
+            protocol: ProtocolSpec::Convergecast,
+            adversary: AdversarySpec::CountLiar {
+                inflation: 1_000_000,
+            },
+            ..base_scenario("e9/convergecast/count-liar")
+        })),
+        baseline(Scenario {
+            protocol: ProtocolSpec::Birthday,
+            ..base_scenario("e9/birthday-paradox/benign")
+        }),
+        baseline(attacked(Scenario {
+            protocol: ProtocolSpec::Birthday,
+            adversary: AdversarySpec::CollisionFaker {
+                duplicate: true,
+                count: 64,
+            },
+            ..base_scenario("e9/birthday-paradox/collision-faker")
+        })),
+        sized(Scenario {
+            budgets: vec![BudgetSpec::Fixed(1)],
+            adversary: AdversarySpec::BeaconSpam,
+            band: CONGEST_BAND,
+            max_rounds: 8_000,
+            ..base_scenario("e9/congest/beacon-spam")
+        }),
+    ]
+}
+
+/// E13's scenario: the budget-tolerance sweep past `n^{1/2}`.
+pub fn e13_scenarios() -> Vec<Scenario> {
+    vec![Scenario {
+        sizes: vec![256],
+        quick_sizes: vec![128],
+        budgets: [1usize, 4, 8, 16, 32, 64, 96]
+            .iter()
+            .map(|&b| BudgetSpec::Fixed(b))
+            .collect(),
+        quick_budgets: vec![BudgetSpec::Fixed(4), BudgetSpec::Fixed(32)],
+        adversary: AdversarySpec::BeaconSpam,
+        seeds: vec![37],
+        graph_seed_base: 13_000,
+        ..base_scenario("e13/congest/beacon-spam")
+    }]
+}
+
+/// E14's scenario: Byzantine placement sensitivity.
+pub fn e14_scenarios() -> Vec<Scenario> {
+    vec![Scenario {
+        sizes: vec![256],
+        quick_sizes: vec![128],
+        budgets: vec![BudgetSpec::Theorem2 { xi: 0.05 }],
+        placements: vec![Placement::Spread, Placement::Random, Placement::Clustered],
+        adversary: AdversarySpec::BeaconSpam,
+        seeds: vec![41],
+        graph_seed_base: 14_000,
+        ..base_scenario("e14/congest/beacon-spam")
+    }]
+}
+
+/// Extra matrix rows beyond the numbered experiments: the graph-family
+/// axis (the paper's guarantees are family-dependent — small worlds
+/// expand, so Algorithm 2 still works there).
+pub fn family_scenarios() -> Vec<Scenario> {
+    vec![Scenario {
+        family: GraphFamily::WattsStrogatz { k: 8, p: 0.2 },
+        sizes: vec![128, 256],
+        quick_sizes: vec![128],
+        seeds: vec![3],
+        max_rounds: 20_000,
+        run_to_halt: true,
+        graph_seed_base: 15_000,
+        ..base_scenario("family/watts-strogatz/congest-benign")
+    }]
+}
+
+/// The standard scenario matrix behind the `--scenario` CLI: every
+/// sweep-style experiment's scenarios plus the extra family axis.
+pub fn standard_matrix() -> Vec<Scenario> {
+    let mut all = Vec::new();
+    all.extend(e1_scenarios());
+    all.extend(e2_scenarios());
+    all.extend(e3_scenarios());
+    all.extend(e4_scenarios());
+    all.extend(e5_scenarios());
+    all.extend(e6_scenarios());
+    all.extend(e9_scenarios());
+    all.extend(e13_scenarios());
+    all.extend(e14_scenarios());
+    all.extend(family_scenarios());
+    all
+}
+
+// ---------------------------------------------------------------------------
+// Scenario-driven experiments.
+// ---------------------------------------------------------------------------
+
 /// E1 — Theorem 1: coverage and approximation of the LOCAL algorithm
 /// under `n^{1−γ}` Byzantine nodes and the fake-expander attack.
-pub fn e1(quick: bool) -> Table {
+pub fn e1(quick: bool) -> ExperimentResult {
     let mut t = Table::new(
         "E1: Theorem 1 — LOCAL coverage under n^(1-gamma) Byzantine nodes (fake-expander attack)",
         &[
@@ -76,91 +404,59 @@ pub fn e1(quick: bool) -> Table {
             "rounds",
         ],
     );
-    let sizes: &[usize] = if quick {
-        &[64, 128]
-    } else {
-        &[64, 128, 256, 512]
-    };
-    let gamma = 0.7;
-    for &n in sizes {
-        let g = network(n, D, 1000 + n as u64);
-        let b = theorem1_budget(n, gamma);
-        let byz = spread_byzantine(n, b);
-        let cfg = LocalConfig {
-            max_degree: D + 2,
-            ..LocalConfig::default()
-        };
-        for (name, fake) in [("silent", false), ("fake-expander", true)] {
-            let report = if fake {
-                run_local(
-                    &g,
-                    &byz,
-                    cfg,
-                    FakeExpanderAdversary::new(2, D, 2, 7),
-                    n as u64,
-                    200,
-                )
-            } else {
-                run_local(&g, &byz, cfg, NullAdversary, n as u64, 200)
-            };
-            let far = far_honest_nodes(&g, &byz, 2);
-            let er = EstimateReport::evaluate(n, local_estimates(&report, &far), LOCAL_BAND);
-            let all: Vec<usize> = report.honest_nodes().collect();
-            let era = EstimateReport::evaluate(n, local_estimates(&report, &all), LOCAL_BAND);
-            t.push_row(vec![
-                n.to_string(),
-                b.to_string(),
-                name.into(),
-                fmt(era.decided_fraction()),
-                fmt(er.in_band_fraction()),
-                fmt(er.median_ratio),
-                report.rounds.to_string(),
-            ]);
-        }
+    let cells = sweep(&e1_scenarios(), quick);
+    for c in &cells {
+        t.push_row(vec![
+            c.n.to_string(),
+            c.budget.to_string(),
+            c.adversary.clone(),
+            fmt(c.outcome.all.decided_fraction()),
+            fmt(c.outcome.far.in_band_fraction()),
+            fmt(c.outcome.far.median_ratio),
+            c.outcome.rounds.to_string(),
+        ]);
     }
-    t
+    ExperimentResult {
+        name: "e1".into(),
+        table: t,
+        cells,
+    }
 }
 
 /// E2 — Theorem 1: `O(log n)` round complexity (time-optimality) of the
 /// LOCAL algorithm; decisions land at `diam(G) + O(1)`.
-pub fn e2(quick: bool) -> Table {
+pub fn e2(quick: bool) -> ExperimentResult {
     let mut t = Table::new(
         "E2: Theorem 1 — LOCAL rounds scale with diam = O(log n)",
         &["n", "ln n", "diam", "median decision round", "max round"],
     );
-    let sizes: &[usize] = if quick {
-        &[64, 256]
-    } else {
-        &[64, 128, 256, 512, 1024]
-    };
-    for &n in sizes {
-        let g = network(n, D, 2000 + n as u64);
+    let scenarios = e2_scenarios();
+    let cells = sweep(&scenarios, quick);
+    for c in &cells {
+        // The runner's graphs are deterministic, so the diameter can be
+        // recomputed from the scenario coordinates.
+        let g = scenarios[0]
+            .family
+            .generate(c.n, scenarios[0].graph_seed_base + c.n as u64);
         let diam = diameter(&g).expect("connected");
-        let cfg = LocalConfig {
-            max_degree: D,
-            ..LocalConfig::default()
-        };
-        let report = run_local(&g, &[], cfg, NullAdversary, n as u64, 200);
-        let rounds: Vec<f64> = report
-            .decided_round
-            .iter()
-            .flatten()
-            .map(|&r| r as f64)
-            .collect();
         t.push_row(vec![
-            n.to_string(),
-            fmt((n as f64).ln()),
+            c.n.to_string(),
+            fmt((c.n as f64).ln()),
             diam.to_string(),
-            fmt(median(&rounds)),
-            fmt(percentile(&rounds, 100.0)),
+            fmt(c.outcome.decision_rounds.median),
+            fmt(c.outcome.decision_rounds.max),
         ]);
     }
-    t
+    ExperimentResult {
+        name: "e2".into(),
+        table: t,
+        cells,
+    }
 }
 
 /// E3 — Theorem 2: coverage and approximation of the CONGEST algorithm
 /// under `B(n) = n^{1/2−ξ}` Byzantine beacon spammers.
-pub fn e3(quick: bool) -> Table {
+pub fn e3(quick: bool) -> ExperimentResult {
     let mut t = Table::new(
         "E3: Theorem 2 — CONGEST coverage under B(n) = n^(1/2-xi) beacon spam",
         &[
@@ -173,104 +469,54 @@ pub fn e3(quick: bool) -> Table {
             "p95 decision round",
         ],
     );
-    let sizes: &[usize] = if quick {
-        &[128, 256]
-    } else {
-        &[128, 256, 512, 1024]
-    };
-    let params = CongestParams::default();
-    for &n in sizes {
-        let g = network(n, D, 3000 + n as u64);
-        let b = theorem2_budget(n, 0.05);
-        let byz = spread_byzantine(n, b);
-        for (name, which) in [("beacon-spam", 0), ("path-tamper", 1)] {
-            let report = match which {
-                0 => run_congest(
-                    &g,
-                    &byz,
-                    params,
-                    BeaconSpamAdversary::new(params),
-                    n as u64 + 17,
-                    8_000,
-                ),
-                _ => run_congest(
-                    &g,
-                    &byz,
-                    params,
-                    PathTamperAdversary::new(params),
-                    n as u64 + 17,
-                    8_000,
-                ),
-            };
-            let far = far_honest_nodes(&g, &byz, 2);
-            let er = EstimateReport::evaluate(n, congest_estimates(&report, &far), CONGEST_BAND);
-            let decision_rounds: Vec<f64> = far
-                .iter()
-                .filter_map(|&u| report.decided_round[u].map(|r| r as f64))
-                .collect();
-            t.push_row(vec![
-                n.to_string(),
-                b.to_string(),
-                name.into(),
-                fmt(er.decided_fraction()),
-                fmt(er.in_band_fraction()),
-                fmt(er.median_ratio),
-                fmt(percentile(&decision_rounds, 95.0)),
-            ]);
-        }
+    let cells = sweep(&e3_scenarios(), quick);
+    for c in &cells {
+        t.push_row(vec![
+            c.n.to_string(),
+            c.budget.to_string(),
+            c.adversary.clone(),
+            fmt(c.outcome.far.decided_fraction()),
+            fmt(c.outcome.far.in_band_fraction()),
+            fmt(c.outcome.far.median_ratio),
+            fmt(c.outcome.decision_rounds.p95),
+        ]);
     }
-    t
+    ExperimentResult {
+        name: "e3".into(),
+        table: t,
+        cells,
+    }
 }
 
 /// E4 — Theorem 2: rounds grow with the Byzantine budget as
 /// `O(B(n)·log² n)` (decision time measured at the 95th percentile of
 /// honest decisions).
-pub fn e4(quick: bool) -> Table {
+pub fn e4(quick: bool) -> ExperimentResult {
     let mut t = Table::new(
         "E4: Theorem 2 — CONGEST decision rounds vs Byzantine budget (O(B log^2 n))",
         &["n", "B", "p95 decision round", "all-decided rounds"],
     );
-    let n = if quick { 128 } else { 512 };
-    let budgets: &[usize] = if quick {
-        &[0, 4]
-    } else {
-        &[0, 2, 4, 8, 16, 32]
-    };
-    let params = CongestParams::default();
-    let g = network(n, D, 4000);
-    for &b in budgets {
-        let byz = spread_byzantine(n, b);
-        let report = if b == 0 {
-            run_congest(&g, &byz, params, NullAdversary, 77, 12_000)
-        } else {
-            run_congest(
-                &g,
-                &byz,
-                params,
-                BeaconSpamAdversary::new(params),
-                77,
-                12_000,
-            )
-        };
-        let far = far_honest_nodes(&g, &byz, 2);
-        let rounds: Vec<f64> = far
-            .iter()
-            .filter_map(|&u| report.decided_round[u].map(|r| r as f64))
-            .collect();
+    let mut cells = sweep(&e4_scenarios(), quick);
+    cells.sort_by_key(|c| c.budget);
+    for c in &cells {
         t.push_row(vec![
-            n.to_string(),
-            b.to_string(),
-            fmt(percentile(&rounds, 95.0)),
-            report.rounds.to_string(),
+            c.n.to_string(),
+            c.budget.to_string(),
+            fmt(c.outcome.decision_rounds.p95),
+            c.outcome.rounds.to_string(),
         ]);
     }
-    t
+    ExperimentResult {
+        name: "e4".into(),
+        table: t,
+        cells,
+    }
 }
 
 /// E5 — Theorem 2: most good nodes send only small messages. Reports the
 /// per-node maximum message size for the CONGEST algorithm (vs the LOCAL
 /// algorithm's polynomial messages).
-pub fn e5(quick: bool) -> Table {
+pub fn e5(quick: bool) -> ExperimentResult {
     let mut t = Table::new(
         "E5: Theorem 2 — message sizes (bits, 64-bit IDs): CONGEST stays small, LOCAL is polynomial",
         &[
@@ -281,63 +527,31 @@ pub fn e5(quick: bool) -> Table {
             "small-msg fraction",
         ],
     );
-    let sizes: &[usize] = if quick { &[128] } else { &[128, 256, 512] };
-    for &n in sizes {
-        let g = network(n, D, 5000 + n as u64);
-        let b = theorem2_budget(n, 0.05);
-        let byz = spread_byzantine(n, b);
-        let params = CongestParams::default();
-        // "Small" = a beacon path of (log_d n + 6) 64-bit IDs — the
-        // longest honest path at the benign decision phase plus slack
-        // (see EXPERIMENTS.md for the discussion of the paper's
-        // O(log n)-bit phrasing vs its own path fields).
-        let limit = (((n as f64).ln() / (D as f64).ln()).ceil() as u64 + 6) * 64 + 2;
-        let benign = run_congest(&g, &[], params, NullAdversary, 5, 8_000);
-        let spam = run_congest(&g, &byz, params, BeaconSpamAdversary::new(params), 5, 8_000);
-        for (name, report) in [("CONGEST benign", &benign), ("CONGEST spam", &spam)] {
-            let honest: Vec<usize> = report.honest_nodes().collect();
-            let maxes: Vec<f64> = honest
-                .iter()
-                .map(|&u| report.metrics.per_node[u].max_message_bits as f64)
-                .collect();
-            let small = report
-                .metrics
-                .count_within_message_limit(honest.clone(), limit);
-            t.push_row(vec![
-                n.to_string(),
-                name.into(),
-                fmt(median(&maxes)),
-                fmt(percentile(&maxes, 99.0)),
-                fmt(small as f64 / honest.len() as f64),
-            ]);
-        }
-        let cfg = LocalConfig {
-            max_degree: D,
-            ..LocalConfig::default()
+    let cells = sweep(&e5_scenarios(), quick);
+    for c in &cells {
+        let label = match (c.protocol.as_str(), c.adversary.as_str()) {
+            ("congest", "silent") => "CONGEST benign",
+            ("congest", _) => "CONGEST spam",
+            _ => "LOCAL benign",
         };
-        let lreport = run_local(&g, &[], cfg, NullAdversary, n as u64, 200);
-        let lhonest: Vec<usize> = lreport.honest_nodes().collect();
-        let lmaxes: Vec<f64> = lhonest
-            .iter()
-            .map(|&u| lreport.metrics.per_node[u].max_message_bits as f64)
-            .collect();
-        let lsmall = lreport
-            .metrics
-            .count_within_message_limit(lhonest.clone(), limit);
         t.push_row(vec![
-            n.to_string(),
-            "LOCAL benign".into(),
-            fmt(median(&lmaxes)),
-            fmt(percentile(&lmaxes, 99.0)),
-            fmt(lsmall as f64 / lhonest.len() as f64),
+            c.n.to_string(),
+            label.into(),
+            fmt(c.outcome.msg_bits_median),
+            fmt(c.outcome.msg_bits_p99),
+            fmt(c.outcome.small_msg_fraction),
         ]);
     }
-    t
+    ExperimentResult {
+        name: "e5".into(),
+        table: t,
+        cells,
+    }
 }
 
 /// E6 — Corollary 1: benign executions terminate in `O(log n)` rounds
 /// with tightly clustered estimates.
-pub fn e6(quick: bool) -> Table {
+pub fn e6(quick: bool) -> ExperimentResult {
     let mut t = Table::new(
         "E6: Corollary 1 — benign CONGEST: everyone decides, terminates, estimates cluster",
         &[
@@ -351,49 +565,168 @@ pub fn e6(quick: bool) -> Table {
             "all halted",
         ],
     );
-    let sizes: &[usize] = if quick {
-        &[64, 256]
-    } else {
-        &[64, 128, 256, 512, 1024, 2048]
-    };
-    let params = CongestParams::default();
-    for &n in sizes {
-        let g = network(n, D, 6000 + n as u64);
-        let mut sim = Simulation::new(
-            &g,
-            &[],
-            |_, init| bcount_core::congest::CongestCounting::new(params, init),
-            NullAdversary,
-            SimConfig {
-                seed: n as u64,
-                max_rounds: 60_000,
-                ..SimConfig::default()
-            },
-        );
-        let report = sim.run();
-        let ests: Vec<f64> = report
-            .outputs
-            .iter()
-            .flatten()
-            .map(|e| f64::from(e.estimate))
-            .collect();
+    let cells = sweep(&e6_scenarios(), quick);
+    for c in &cells {
+        let ln_n = (c.n as f64).ln();
         t.push_row(vec![
-            n.to_string(),
-            fmt((n as f64).ln()),
-            fmt((n as f64).ln() / (D as f64).ln()),
-            fmt(percentile(&ests, 0.0)),
-            fmt(median(&ests)),
-            fmt(percentile(&ests, 100.0)),
-            report.rounds.to_string(),
-            format!("{}", report.halted.iter().filter(|h| **h).count() == n),
+            c.n.to_string(),
+            fmt(ln_n),
+            fmt(ln_n / (D as f64).ln()),
+            fmt(c.outcome.all.min_estimate),
+            fmt(c.outcome.all.median_ratio * ln_n),
+            fmt(c.outcome.all.max_estimate),
+            c.outcome.rounds.to_string(),
+            format!("{}", c.outcome.halted == c.n),
         ]);
     }
-    t
+    ExperimentResult {
+        name: "e6".into(),
+        table: t,
+        cells,
+    }
 }
+
+/// E9 — Section 1.2: the classical baselines are exact/accurate when
+/// benign and arbitrarily wrong under a single Byzantine node.
+pub fn e9(quick: bool) -> ExperimentResult {
+    let mut t = Table::new(
+        "E9: baselines break under ONE Byzantine node (estimates of the quantity each reports)",
+        &["protocol", "quantity", "benign", "1 Byzantine"],
+    );
+    let cells = sweep(&e9_scenarios(), quick);
+    let n = cells.first().map(|c| c.n).unwrap_or(0);
+    let raw_of = |protocol: &str, adversary: &str| {
+        cells
+            .iter()
+            .find(|c| c.protocol == protocol && c.adversary == adversary)
+            .map(|c| {
+                // Clamped ±inf (a baseline broken beyond measure) prints
+                // as the infinity it really was.
+                if c.outcome.raw_median >= 1.0e300 {
+                    "inf".into()
+                } else if c.outcome.raw_median <= -1.0e300 {
+                    "-inf".into()
+                } else {
+                    fmt(c.outcome.raw_median)
+                }
+            })
+            .unwrap_or_default()
+    };
+    for (protocol, attack, quantity) in [
+        (
+            "geometric-max",
+            "max-faker",
+            format!("log2 n = {:.2}", (n as f64).log2()),
+        ),
+        ("support-estimation", "zero-faker", format!("n = {n}")),
+        ("convergecast", "count-liar", format!("n = {n}")),
+        ("birthday-paradox", "collision-faker", format!("n = {n}")),
+    ] {
+        t.push_row(vec![
+            protocol.into(),
+            quantity,
+            raw_of(protocol, "silent"),
+            raw_of(protocol, attack),
+        ]);
+    }
+    if let Some(c) = cells
+        .iter()
+        .find(|c| c.protocol == "congest" && c.adversary == "beacon-spam")
+    {
+        t.push_row(vec![
+            "this paper (Algorithm 2)".into(),
+            format!("ln n = {:.2}", (n as f64).ln()),
+            "-".into(),
+            format!(
+                "{} (median, in band)",
+                fmt(c.outcome.far.median_ratio * (n as f64).ln())
+            ),
+        ]);
+    }
+    ExperimentResult {
+        name: "e9".into(),
+        table: t,
+        cells,
+    }
+}
+
+/// E13 — beyond the theorem (open problem): how far past `n^{1/2}` can
+/// the Byzantine budget grow before coverage degrades? The paper leaves
+/// tolerance above `n^{1/2−ξ}` open; this sweep locates the empirical
+/// cliff.
+pub fn e13(quick: bool) -> ExperimentResult {
+    let mut t = Table::new(
+        "E13: extension — tolerance sweep past the n^(1/2) budget (open problem of Sec. 7)",
+        &[
+            "n",
+            "B",
+            "B/sqrt(n)",
+            "far nodes",
+            "far decided",
+            "far in-band",
+            "p95 decision round",
+        ],
+    );
+    let cells = sweep(&e13_scenarios(), quick);
+    for c in &cells {
+        t.push_row(vec![
+            c.n.to_string(),
+            c.budget.to_string(),
+            fmt(c.budget as f64 / (c.n as f64).sqrt()),
+            c.outcome.far.honest.to_string(),
+            fmt(c.outcome.far.decided_fraction()),
+            fmt(c.outcome.far.in_band_fraction()),
+            fmt(c.outcome.decision_rounds.p95),
+        ]);
+    }
+    ExperimentResult {
+        name: "e13".into(),
+        table: t,
+        cells,
+    }
+}
+
+/// E14 — placement sensitivity: the paper's advance over Chatterjee et
+/// al. \[14\] is tolerating *arbitrarily placed* Byzantine nodes (that prior
+/// work needed random placement). Compare spread, random, and clustered
+/// placements of the same budget.
+pub fn e14(quick: bool) -> ExperimentResult {
+    let mut t = Table::new(
+        "E14: extension — Byzantine placement sensitivity (arbitrary vs random, cf. [14])",
+        &[
+            "n",
+            "B",
+            "placement",
+            "overall decided",
+            "far nodes",
+            "far in-band",
+        ],
+    );
+    let cells = sweep(&e14_scenarios(), quick);
+    for c in &cells {
+        t.push_row(vec![
+            c.n.to_string(),
+            c.budget.to_string(),
+            c.placement.clone(),
+            fmt(c.outcome.all.decided_fraction()),
+            c.outcome.far.honest.to_string(),
+            fmt(c.outcome.far.in_band_fraction()),
+        ]);
+    }
+    ExperimentResult {
+        name: "e14".into(),
+        table: t,
+        cells,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bespoke experiments (non-sweep constructions).
+// ---------------------------------------------------------------------------
 
 /// E7 — Lemma 2: in `H(n,d)`, all but `O(n^{0.8})` nodes are locally
 /// tree-like; reports counts and the fitted exponent.
-pub fn e7(quick: bool) -> Table {
+pub fn e7(quick: bool) -> ExperimentResult {
     let mut t = Table::new(
         "E7: Lemma 2 — non-tree-like nodes in H(n,d) scale as O(n^0.8)",
         &["n", "radius", "non-tree-like", "fraction"],
@@ -442,13 +775,13 @@ pub fn e7(quick: bool) -> Table {
             ]);
         }
     }
-    t
+    ExperimentResult::bespoke("e7", t)
 }
 
 /// E8 — Theorem 3: without expansion, one silent Byzantine cut node makes
 /// `n` and `t·n` indistinguishable — estimates stay flat while the true
 /// size grows.
-pub fn e8(quick: bool) -> Table {
+pub fn e8(quick: bool) -> ExperimentResult {
     let mut t = Table::new(
         "E8: Theorem 3 — phantom copies behind one Byzantine cut node (estimates cannot track n)",
         &[
@@ -493,165 +826,12 @@ pub fn e8(quick: bool) -> Table {
             fmt(median(&eests)),
         ]);
     }
-    t
-}
-
-/// E9 — Section 1.2: the classical baselines are exact/accurate when
-/// benign and arbitrarily wrong under a single Byzantine node.
-pub fn e9(quick: bool) -> Table {
-    let mut t = Table::new(
-        "E9: baselines break under ONE Byzantine node (estimates of the quantity each reports)",
-        &["protocol", "quantity", "benign", "1 Byzantine"],
-    );
-    let n = if quick { 64 } else { 256 };
-    let g = network(n, D, 9000);
-    let byz = [NodeId(7)];
-    // Geometric max (reports ~log2 n).
-    {
-        let benign = Simulation::new(
-            &g,
-            &[],
-            |_, init| GeometricMax::new(40, init),
-            NullAdversary,
-            SimConfig::default(),
-        )
-        .run();
-        let attacked = Simulation::new(
-            &g,
-            &byz,
-            |_, init| GeometricMax::new(40, init),
-            MaxFakerAdversary {
-                fake_value: 1_000_000,
-            },
-            SimConfig::default(),
-        )
-        .run();
-        t.push_row(vec![
-            "geometric-max".into(),
-            format!("log2 n = {:.2}", (n as f64).log2()),
-            benign.outputs[1]
-                .map(f64::from)
-                .map(fmt)
-                .unwrap_or_default(),
-            attacked.outputs[1]
-                .map(f64::from)
-                .map(fmt)
-                .unwrap_or_default(),
-        ]);
-    }
-    // Support estimation (reports ~n).
-    {
-        let benign = Simulation::new(
-            &g,
-            &[],
-            |_, init| SupportEstimation::new(64, 40, init),
-            NullAdversary,
-            SimConfig::default(),
-        )
-        .run();
-        let attacked = Simulation::new(
-            &g,
-            &byz,
-            |_, init| SupportEstimation::new(64, 40, init),
-            ZeroFakerAdversary { k: 64 },
-            SimConfig::default(),
-        )
-        .run();
-        t.push_row(vec![
-            "support-estimation".into(),
-            format!("n = {n}"),
-            benign.outputs[1].map(fmt).unwrap_or_default(),
-            attacked.outputs[1].map(fmt).unwrap_or_default(),
-        ]);
-    }
-    // Convergecast (reports exact n).
-    {
-        let benign = Simulation::new(
-            &g,
-            &[],
-            |u, init| Convergecast::new(u == NodeId(0), init),
-            NullAdversary,
-            SimConfig::default(),
-        )
-        .run();
-        let attacked = Simulation::new(
-            &g,
-            &byz,
-            |u, init| Convergecast::new(u == NodeId(0), init),
-            CountLiarAdversary {
-                inflation: 1_000_000,
-            },
-            SimConfig::default(),
-        )
-        .run();
-        t.push_row(vec![
-            "convergecast".into(),
-            format!("n = {n}"),
-            benign.outputs[0].map(|v| v.to_string()).unwrap_or_default(),
-            attacked.outputs[0]
-                .map(|v| v.to_string())
-                .unwrap_or_default(),
-        ]);
-    }
-    // Birthday-paradox estimator (reports ~n).
-    {
-        let tau = 3 * (n as f64).ln().ceil() as u32;
-        let budget = u64::from(tau) + 30;
-        let benign = Simulation::new(
-            &g,
-            &[],
-            |_, init| BirthdayCounting::new(tau, budget, init),
-            NullAdversary,
-            SimConfig::default(),
-        )
-        .run();
-        let attacked = Simulation::new(
-            &g,
-            &byz,
-            |_, init| BirthdayCounting::new(tau, budget, init),
-            CollisionFakerAdversary {
-                duplicate: true,
-                count: 64,
-            },
-            SimConfig::default(),
-        )
-        .run();
-        t.push_row(vec![
-            "birthday-paradox".into(),
-            format!("n = {n}"),
-            benign.outputs[1].map(fmt).unwrap_or_default(),
-            attacked.outputs[1].map(fmt).unwrap_or_default(),
-        ]);
-    }
-    // This paper's CONGEST algorithm under the same single Byzantine node.
-    {
-        let params = CongestParams::default();
-        let report = run_congest(
-            &g,
-            &byz,
-            params,
-            BeaconSpamAdversary::new(params),
-            13,
-            8_000,
-        );
-        let far = far_honest_nodes(&g, &byz, 2);
-        let ests: Vec<f64> = far
-            .iter()
-            .filter_map(|&u| report.outputs[u].map(|e| f64::from(e.estimate)))
-            .collect();
-        t.push_row(vec![
-            "this paper (Algorithm 2)".into(),
-            format!("ln n = {:.2}", (n as f64).ln()),
-            "-".into(),
-            format!("{} (median, in band)", fmt(median(&ests))),
-        ]);
-    }
-    t
+    ExperimentResult::bespoke("e8", t)
 }
 
 /// E10 — Section 1.1: the counting → agreement pipeline matches
 /// oracle-parameterised agreement.
-pub fn e10(quick: bool) -> Table {
+pub fn e10(quick: bool) -> ExperimentResult {
     let mut t = Table::new(
         "E10: application — counting->agreement pipeline vs oracle log n",
         &[
@@ -709,12 +889,12 @@ pub fn e10(quick: bool) -> Table {
         fmt(pipeline.agreement_fraction(true)),
         pipeline.counting_rounds.to_string(),
     ]);
-    t
+    ExperimentResult::bespoke("e10", t)
 }
 
 /// E11 — ablation: disable blacklisting and beacon spam inflates
 /// estimates to the horizon; enabled, the band holds (Lemma 11).
-pub fn e11(quick: bool) -> Table {
+pub fn e11(quick: bool) -> ExperimentResult {
     let mut t = Table::new(
         "E11: ablation — blacklisting under beacon spam (Lemma 11)",
         &[
@@ -763,14 +943,14 @@ pub fn e11(quick: bool) -> Table {
             fmt(ests.len() as f64 / far.len() as f64),
         ]);
     }
-    t
+    ExperimentResult::bespoke("e11", t)
 }
 
 /// E12 — ablation + Remark 1: disable the expansion check and the
 /// fake-expander attack strings every node to the horizon; enabled, only
 /// eclipsed nodes (all neighbours Byzantine) stay at the adversary's
 /// mercy.
-pub fn e12(quick: bool) -> Table {
+pub fn e12(quick: bool) -> ExperimentResult {
     let mut t = Table::new(
         "E12: ablation — expansion check vs fake-expander; eclipsed nodes (Remark 1)",
         &[
@@ -827,132 +1007,14 @@ pub fn e12(quick: bool) -> Table {
             horizon.to_string(),
         ]);
     }
-    t
+    ExperimentResult::bespoke("e12", t)
 }
 
-/// E13 — beyond the theorem (open problem): how far past `n^{1/2}` can
-/// the Byzantine budget grow before coverage degrades? The paper leaves
-/// tolerance above `n^{1/2−ξ}` open; this sweep locates the empirical
-/// cliff.
-pub fn e13(quick: bool) -> Table {
-    let mut t = Table::new(
-        "E13: extension — tolerance sweep past the n^(1/2) budget (open problem of Sec. 7)",
-        &[
-            "n",
-            "B",
-            "B/sqrt(n)",
-            "far nodes",
-            "far decided",
-            "far in-band",
-            "p95 decision round",
-        ],
-    );
-    let n = if quick { 128 } else { 256 };
-    let budgets: &[usize] = if quick {
-        &[4, 32]
-    } else {
-        &[1, 4, 8, 16, 32, 64, 96]
-    };
-    let params = CongestParams::default();
-    let g = network(n, D, 13_000);
-    for &b in budgets {
-        let byz = spread_byzantine(n, b);
-        let report = run_congest(
-            &g,
-            &byz,
-            params,
-            BeaconSpamAdversary::new(params),
-            37,
-            8_000,
-        );
-        let far = far_honest_nodes(&g, &byz, 2);
-        let er = EstimateReport::evaluate(n, congest_estimates(&report, &far), CONGEST_BAND);
-        let rounds: Vec<f64> = far
-            .iter()
-            .filter_map(|&u| report.decided_round[u].map(|r| r as f64))
-            .collect();
-        t.push_row(vec![
-            n.to_string(),
-            b.to_string(),
-            fmt(b as f64 / (n as f64).sqrt()),
-            far.len().to_string(),
-            fmt(er.decided_fraction()),
-            fmt(er.in_band_fraction()),
-            fmt(percentile(&rounds, 95.0)),
-        ]);
-    }
-    t
-}
-
-/// E14 — placement sensitivity: the paper's advance over Chatterjee et
-/// al. \[14\] is tolerating *arbitrarily placed* Byzantine nodes (that prior
-/// work needed random placement). Compare spread, random, and clustered
-/// placements of the same budget.
-pub fn e14(quick: bool) -> Table {
-    use bcount_graph::analysis::bfs::ball;
-    let mut t = Table::new(
-        "E14: extension — Byzantine placement sensitivity (arbitrary vs random, cf. [14])",
-        &[
-            "n",
-            "B",
-            "placement",
-            "overall decided",
-            "far nodes",
-            "far in-band",
-        ],
-    );
-    let n = if quick { 128 } else { 256 };
-    let b = theorem2_budget(n, 0.05);
-    let params = CongestParams::default();
-    let g = network(n, D, 14_000);
-    let placements: Vec<(&str, Vec<NodeId>)> = vec![
-        ("spread", spread_byzantine(n, b)),
-        ("random", {
-            use rand::seq::SliceRandom;
-            use rand::SeedableRng;
-            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(77);
-            let mut nodes: Vec<NodeId> = g.nodes().collect();
-            nodes.shuffle(&mut rng);
-            nodes.truncate(b);
-            nodes
-        }),
-        ("clustered", {
-            // The adversarial extreme: a tight BFS ball around one node.
-            let mut cluster = ball(&g, NodeId(0), 2);
-            cluster.truncate(b);
-            cluster
-        }),
-    ];
-    for (name, byz) in placements {
-        let report = run_congest(
-            &g,
-            &byz,
-            params,
-            BeaconSpamAdversary::new(params),
-            41,
-            8_000,
-        );
-        let all: Vec<usize> = report.honest_nodes().collect();
-        let era = EstimateReport::evaluate(n, congest_estimates(&report, &all), CONGEST_BAND);
-        let far = far_honest_nodes(&g, &byz, 2);
-        let er = EstimateReport::evaluate(n, congest_estimates(&report, &far), CONGEST_BAND);
-        t.push_row(vec![
-            n.to_string(),
-            byz.len().to_string(),
-            name.into(),
-            fmt(era.decided_fraction()),
-            far.len().to_string(),
-            fmt(er.in_band_fraction()),
-        ]);
-    }
-    t
-}
-
-/// One experiment entry point: takes the `quick` flag, returns a table.
-type Experiment = fn(bool) -> Table;
+/// One experiment entry point: takes the `quick` flag, returns the result.
+type Experiment = fn(bool) -> ExperimentResult;
 
 /// Runs the named experiment, or all of them.
-pub fn run(which: &str, quick: bool) -> Vec<Table> {
+pub fn run(which: &str, quick: bool) -> Vec<ExperimentResult> {
     let all: Vec<(&str, Experiment)> = vec![
         ("e1", e1),
         ("e2", e2),
@@ -992,17 +1054,21 @@ mod tests {
     fn quick_smoke_e7_and_e9() {
         // Fast structural experiments run end-to-end in quick mode.
         let t7 = e7(true);
-        assert_eq!(t7.headers.len(), 4);
-        assert!(t7.rows.len() >= 3);
+        assert_eq!(t7.table.headers.len(), 4);
+        assert!(t7.table.rows.len() >= 3);
+        assert!(t7.cells.is_empty(), "e7 is bespoke");
         let t9 = e9(true);
-        assert_eq!(t9.rows.len(), 5);
+        assert_eq!(t9.table.rows.len(), 5);
+        assert_eq!(t9.cells.len(), 9, "one cell per E9 scenario");
+        assert!(t9.cells.iter().all(|c| c.outcome.rounds > 0));
     }
 
     #[test]
     fn run_dispatches_by_name() {
-        let tables = run("e7", true);
-        assert_eq!(tables.len(), 1);
-        assert!(tables[0].title.contains("Lemma 2"));
+        let results = run("e7", true);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].name, "e7");
+        assert!(results[0].table.title.contains("Lemma 2"));
         assert!(run("nope", true).is_empty());
     }
 
@@ -1010,5 +1076,16 @@ mod tests {
     fn phantom_size_formula() {
         let base = network(33, 8, 1);
         assert_eq!(phantom_size(&base, 4), 1 + 4 * 32);
+    }
+
+    #[test]
+    fn standard_matrix_names_are_unique_and_prefixed() {
+        let matrix = standard_matrix();
+        let mut names: Vec<&str> = matrix.iter().map(|s| s.name.as_str()).collect();
+        assert!(matrix.len() >= 15, "matrix has {} scenarios", matrix.len());
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate scenario names");
     }
 }

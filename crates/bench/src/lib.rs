@@ -15,7 +15,9 @@
 
 pub mod experiments;
 pub mod runners;
+pub mod scenario;
 pub mod stats;
 pub mod table;
 
+pub use scenario::{CellOutcome, CellRecord, Scenario};
 pub use table::Table;

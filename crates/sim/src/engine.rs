@@ -173,7 +173,7 @@ impl Default for SimConfig {
 }
 
 /// The result of an execution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport<O> {
     /// Rounds executed.
     pub rounds: u64,

@@ -58,6 +58,7 @@
 pub mod adversary;
 pub mod engine;
 pub mod idspace;
+pub mod json;
 pub mod message;
 pub mod metrics;
 pub mod protocol;

@@ -13,6 +13,7 @@
 //! | [`graph`] | CSR graphs, the `H(n,d)` permutation model and other generators, expansion/spectral/tree-likeness analysis |
 //! | [`sim`] | synchronous full-information simulator with authenticated channels and Byzantine adversaries |
 //! | [`core`] | the paper's two counting algorithms (deterministic LOCAL, randomized CONGEST) and its worst-case attacks |
+//! | [`json`] | hand-rolled dependency-free JSON behind the experiment/bench artifacts |
 //! | [`baselines`] | the classical size-estimation protocols of §1.2 and their one-node breaks |
 //! | [`apps`] | the §1.1 application: counting → almost-everywhere Byzantine agreement |
 //!
@@ -58,6 +59,7 @@ pub use bcount_apps as apps;
 pub use bcount_baselines as baselines;
 pub use bcount_core as core;
 pub use bcount_graph as graph;
+pub use bcount_json as json;
 pub use bcount_sim as sim;
 
 /// One-stop imports for the common workflow: generate a network, pick an

@@ -16,19 +16,102 @@
 //! path entries in the workspace `Cargo.toml`) for the full machinery.
 //!
 //! Two CLI conventions of real criterion are honoured so CI can smoke-test
-//! the benches: `--test` runs every selected benchmark exactly once with
-//! no timing (`cargo bench … -- --test`), and a positional argument
-//! filters benchmarks by substring of their full label (so
-//! `cargo bench -p bcount-bench engine -- --test` exercises the engine
+//! the benches: `--test` runs every selected benchmark exactly once
+//! (timing that single pass, so results are quick but noisy), and a
+//! positional argument filters benchmarks by substring of their full label
+//! (so `cargo bench -p bcount-bench engine -- --test` exercises the engine
 //! group and compiles-but-skips the rest). Other flags are ignored.
+//!
+//! **JSON artifacts.** When the `BCOUNT_BENCH_JSON` environment variable
+//! names a file, every completed benchmark appends a record and the file
+//! is rewritten as a `bcount-bench/v1` document:
+//! `{"schema":"bcount-bench/v1","records":[{label, mode, mean_ns, min_ns,
+//! max_ns, samples, iters_per_sample, throughput_count?, throughput_unit?,
+//! rate_per_sec?}]}`. The CI perf gate (`bcount-bench`'s `gate` bin)
+//! compares such artifacts against the committed `BENCH_BASELINE.json`,
+//! so bench smoke runs and the perf gate share this one code path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Pre-rendered JSON record objects for the `BCOUNT_BENCH_JSON` artifact,
+/// accumulated across groups within one bench process.
+static JSON_RECORDS: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+/// One benchmark's measurement, as recorded in the JSON artifact.
+struct JsonRecord<'a> {
+    label: &'a str,
+    mode: &'a str,
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+    samples: usize,
+    iters_per_sample: u64,
+    throughput: Option<Throughput>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn emit_json_record(record: &JsonRecord<'_>) {
+    let path = match std::env::var("BCOUNT_BENCH_JSON") {
+        Ok(p) if !p.is_empty() => p,
+        _ => return,
+    };
+    let mut body = format!(
+        "{{\"label\":\"{}\",\"mode\":\"{}\",\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{},\"samples\":{},\"iters_per_sample\":{}",
+        json_escape(record.label),
+        record.mode,
+        record.mean.as_nanos(),
+        record.min.as_nanos(),
+        record.max.as_nanos(),
+        record.samples,
+        record.iters_per_sample,
+    );
+    if let Some(t) = record.throughput {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elements"),
+            Throughput::Bytes(n) => (n, "bytes"),
+        };
+        body.push_str(&format!(
+            ",\"throughput_count\":{count},\"throughput_unit\":\"{unit}\""
+        ));
+        if !record.mean.is_zero() {
+            let rate = count as f64 / record.mean.as_secs_f64();
+            // `{:?}` keeps the shortest round-trip float representation;
+            // rates are always finite here (mean > 0).
+            body.push_str(&format!(",\"rate_per_sec\":{rate:?}"));
+        }
+    }
+    body.push('}');
+    let mut records = JSON_RECORDS.lock().expect("bench JSON collector poisoned");
+    records.push(body);
+    // Rewrite the whole document after every record: record counts are
+    // tiny, and this way partial runs still leave a valid artifact.
+    let doc = format!(
+        "{{\"schema\":\"bcount-bench/v1\",\"records\":[{}]}}\n",
+        records.join(",")
+    );
+    if let Err(e) = std::fs::write(&path, doc) {
+        eprintln!("warning: could not write BCOUNT_BENCH_JSON={path}: {e}");
+    }
+}
 
 /// Top-level benchmark driver (configuration container).
 pub struct Criterion {
@@ -178,13 +261,25 @@ impl<'a> BenchmarkGroup<'a> {
             }
         }
         if self.test_mode {
-            // Smoke mode (`-- --test`): one untimed iteration, so compile
-            // or panic regressions surface without a measurement budget.
+            // Smoke mode (`-- --test`): one iteration, timed but with no
+            // warm-up or sampling, so compile or panic regressions surface
+            // without a measurement budget and the JSON artifact still
+            // carries a (noisy) quick measurement for the perf gate.
             let mut bencher = Bencher {
                 iters: 1,
                 elapsed: Duration::ZERO,
             };
             f(&mut bencher);
+            emit_json_record(&JsonRecord {
+                label: &full,
+                mode: "test",
+                mean: bencher.elapsed,
+                min: bencher.elapsed,
+                max: bencher.elapsed,
+                samples: 1,
+                iters_per_sample: 1,
+                throughput: self.throughput,
+            });
             println!("{full:<50} test mode: 1 iteration ok");
             return;
         }
@@ -220,6 +315,16 @@ impl<'a> BenchmarkGroup<'a> {
         let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
         let min = samples.iter().min().copied().unwrap_or_default();
         let max = samples.iter().max().copied().unwrap_or_default();
+        emit_json_record(&JsonRecord {
+            label: &full,
+            mode: "measure",
+            mean,
+            min,
+            max,
+            samples: samples.len(),
+            iters_per_sample: iters,
+            throughput: self.throughput,
+        });
         let mut line = format!(
             "{full:<50} time: [{} {} {}]",
             fmt_time(min),

@@ -205,6 +205,14 @@ impl Adversary<BirthdayCounting> for CollisionFakerAdversary {
             ctx.broadcast(b, BirthdayMsg::Samples(fakes));
         }
     }
+
+    /// This strategy never inspects the in-flight honest traffic
+    /// ([`FullInfoView::honest_outgoing`]) — it works off states, inboxes,
+    /// and topology — so it licenses the engine's fused merge→delivery
+    /// pipeline.
+    fn observes_traffic(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -117,6 +117,14 @@ impl Adversary<GeometricMax> for MaxFakerAdversary {
             }
         }
     }
+
+    /// This strategy never inspects the in-flight honest traffic
+    /// ([`FullInfoView::honest_outgoing`]) — it works off states, inboxes,
+    /// and topology — so it licenses the engine's fused merge→delivery
+    /// pipeline.
+    fn observes_traffic(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -5,18 +5,25 @@
 //! elements = rounds per iteration), so the perf trajectory of the engine
 //! is one number per graph size. The `reuse_buffers` benchmarks measure
 //! the steady-state round loop alone (one long-lived simulation stepped
-//! in place — the zero-alloc hot path); `reuse_buffers_sharded` the same
-//! loop through the sharded merge; the `full_execution` benchmarks
-//! include construction, pid assignment, and buffer warm-up. With
-//! `--features parallel` the same workload is additionally run through
-//! the parallel honest phase for comparison.
+//! in place — the zero-alloc hot path); since PR 4 the default
+//! configuration auto-selects the **fused** merge→delivery pipeline (the
+//! benign `NullAdversary` licenses it), so `reuse_buffers` is the fused
+//! number and `reuse_buffers_flat` pins the flat (pre-fusion) pipeline
+//! for comparison. `reuse_buffers_sharded` runs the fused sharded merge;
+//! the `full_execution` benchmarks include construction, pid assignment,
+//! and buffer warm-up. With `--features parallel` the same workloads are
+//! additionally run through the parallel honest phase + pooled shard
+//! delivery for comparison (`BCOUNT_POOL_THREADS` sizes the pool).
 //!
 //! The `engine_phases` group decomposes one round: `merge` is honest
-//! compute + the deterministic merge with delivery skipped (traffic
-//! dropped), and the `delivery_*` benchmarks re-deliver one snapshotted
-//! round of merged traffic per iteration (reported as messages/sec) —
-//! counting sort vs sharded counting sort vs the reference comparison
-//! sort, so the delivery rewrite's win is measured directly.
+//! compute + the deterministic *flat* merge with delivery skipped
+//! (traffic dropped), `fused_partition` is the same half-round through
+//! the fused scatter (compute + merge + delivery staging in one pass),
+//! and the `delivery_*` benchmarks re-deliver one snapshotted round of
+//! merged traffic per iteration (reported as messages/sec) — counting
+//! sort vs sharded counting sort vs the reference comparison sort, so
+//! the delivery rewrite's win is measured directly (snapshot refill
+//! requires the flat pipeline, so these pin `fused_merge: false`).
 
 use bcount_bench::runners::network;
 use bcount_sim::{
@@ -97,7 +104,9 @@ fn bench_engine(c: &mut Criterion) {
         });
 
         // The steady-state hot path: one long-lived simulation, buffers
-        // warmed, stepped ROUNDS more rounds per iteration.
+        // warmed, stepped ROUNDS more rounds per iteration. Default
+        // config — the fused merge→delivery pipeline (NullAdversary
+        // licenses it).
         let mut sim = warmed(&g, chatter_config(false));
         group.bench_with_input(BenchmarkId::new("reuse_buffers", n), &n, |b, _| {
             b.iter(|| {
@@ -108,7 +117,25 @@ fn bench_engine(c: &mut Criterion) {
             });
         });
 
-        // Same loop through the sharded merge (per-destination-range
+        // Same loop forced onto the flat (pre-fusion) pipeline — the
+        // serial reference number, and the fusion win's denominator.
+        let mut fsim = warmed(
+            &g,
+            SimConfig {
+                fused_merge: false,
+                ..chatter_config(false)
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("reuse_buffers_flat", n), &n, |b, _| {
+            b.iter(|| {
+                for _ in 0..ROUNDS {
+                    fsim.step();
+                }
+                fsim.round()
+            });
+        });
+
+        // Same loop through the fused sharded merge (per-destination-range
         // queues; serial without the `parallel` feature).
         let mut ssim = warmed(
             &g,
@@ -163,8 +190,9 @@ fn bench_engine(c: &mut Criterion) {
 }
 
 /// Decomposes one round into its halves: merge (compute + deterministic
-/// merge, delivery dropped) per round, and delivery alone re-run from one
-/// snapshotted round of merged traffic (messages/sec).
+/// flat merge, delivery dropped) and fused_partition (compute + fused
+/// scatter, staging dropped) per round, and delivery alone re-run from
+/// one snapshotted round of merged traffic (messages/sec).
 fn bench_phases(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_phases");
     group.sample_size(10);
@@ -173,8 +201,14 @@ fn bench_phases(c: &mut Criterion) {
     for &n in &[1024usize, 4096] {
         let g = network(n, 8, n as u64);
 
-        // compute + merge only, ROUNDS rounds per iteration.
-        let mut msim = warmed(&g, chatter_config(false));
+        // compute + flat merge only, ROUNDS rounds per iteration.
+        let mut msim = warmed(
+            &g,
+            SimConfig {
+                fused_merge: false,
+                ..chatter_config(false)
+            },
+        );
         group.throughput(Throughput::Elements(ROUNDS));
         group.bench_with_input(BenchmarkId::new("merge", n), &n, |b, _| {
             b.iter(|| {
@@ -186,9 +220,24 @@ fn bench_phases(c: &mut Criterion) {
             });
         });
 
+        // compute + fused scatter (merge fused straight into delivery
+        // staging), ROUNDS rounds per iteration. The delta vs `merge`
+        // plus `delivery_counting` is the fusion win.
+        let mut fsim = warmed(&g, chatter_config(false));
+        group.bench_with_input(BenchmarkId::new("fused_partition", n), &n, |b, _| {
+            b.iter(|| {
+                for _ in 0..ROUNDS {
+                    fsim.bench_compute_merge();
+                    fsim.drop_round_traffic();
+                }
+                fsim.round()
+            });
+        });
+
         // Delivery alone: refill the merge buffers from a snapshot and
         // deliver, once per iteration. The refill clone is identical for
-        // all three modes, so the deltas are pure delivery cost.
+        // all three modes, so the deltas are pure delivery cost. Snapshot
+        // refill needs the flat pipeline (fusion never materializes one).
         let delivery_modes = [
             ("delivery_counting", DeliveryMode::CountingSort, false),
             ("delivery_sharded", DeliveryMode::CountingSort, true),
@@ -200,6 +249,7 @@ fn bench_phases(c: &mut Criterion) {
                 SimConfig {
                     delivery,
                     sharded_merge,
+                    fused_merge: false,
                     ..chatter_config(false)
                 },
             );

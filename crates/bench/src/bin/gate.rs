@@ -10,6 +10,15 @@
 //! cargo run -p bcount-bench --bin gate -- perf \
 //!     --baseline BENCH_BASELINE.json --current bench.json \
 //!     --tolerance 0.30 --filter reuse_buffers
+//!
+//! # Same-run A/B mode: both artifacts were measured in the SAME job on
+//! # the SAME machine (baseline = a rebuild of the merge-base, current =
+//! # the head), so no committed per-runner-class baseline is involved.
+//! # Tighter default tolerance (20%), and benches present on only one
+//! # side are reported but never fail the gate (they were added or
+//! # removed by the change under test, not regressed):
+//! cargo run -p bcount-bench --bin gate -- perf --ab \
+//!     --baseline bench-base.json --current bench-head.json
 //! ```
 //!
 //! Exit codes: 0 = pass, 1 = gate failure (regression / invalid
@@ -159,15 +168,22 @@ struct PerfArgs {
     current: String,
     tolerance: f64,
     filter: String,
+    /// Same-run A/B mode: the two artifacts come from the same job on the
+    /// same machine (merge-base rebuild vs head), so the comparison is
+    /// apples-to-apples — tighter default tolerance, and one-sided labels
+    /// (benches the change added or removed) never fail the gate.
+    ab: bool,
 }
 
 fn parse_perf_args(args: &[String]) -> Result<PerfArgs, String> {
     let mut parsed = PerfArgs {
         baseline: String::new(),
         current: String::new(),
-        tolerance: 0.30,
+        tolerance: f64::NAN, // resolved after parsing (mode-dependent)
         filter: "reuse_buffers".into(),
+        ab: false,
     };
+    let mut tolerance: Option<f64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -179,17 +195,23 @@ fn parse_perf_args(args: &[String]) -> Result<PerfArgs, String> {
             "--baseline" => parsed.baseline = value("--baseline")?,
             "--current" => parsed.current = value("--current")?,
             "--tolerance" => {
-                parsed.tolerance = value("--tolerance")?
-                    .parse()
-                    .map_err(|e| format!("--tolerance: {e}"))?
+                tolerance = Some(
+                    value("--tolerance")?
+                        .parse()
+                        .map_err(|e| format!("--tolerance: {e}"))?,
+                )
             }
             "--filter" => parsed.filter = value("--filter")?,
+            "--ab" => parsed.ab = true,
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
     if parsed.baseline.is_empty() || parsed.current.is_empty() {
         return Err("--baseline and --current are required".into());
     }
+    // Same-box A/B measurements are much less noisy than cross-runner
+    // absolute comparisons, so the default gate is tighter.
+    parsed.tolerance = tolerance.unwrap_or(if parsed.ab { 0.20 } else { 0.30 });
     if !(0.0..10.0).contains(&parsed.tolerance) {
         return Err(format!("implausible tolerance {}", parsed.tolerance));
     }
@@ -277,15 +299,23 @@ fn perf_gate(args: &[String]) -> ExitCode {
     }
     let mut regressions = Vec::new();
     println!(
-        "perf gate: tolerance {:.0}%, {} gated benchmarks (filter '{}')",
+        "perf gate{}: tolerance {:.0}%, {} gated benchmarks (filter '{}')",
+        if args.ab { " (A/B)" } else { "" },
         args.tolerance * 100.0,
         gated.len(),
         args.filter
     );
     for (label, base) in gated {
         let Some((_, cur)) = current.iter().find(|(l, _)| l == label) else {
-            regressions.push(format!("{label}: missing from current run"));
-            println!("  {label:<50} MISSING");
+            if args.ab {
+                // A/B compares two builds of the same change set: a label
+                // on only one side was added/removed by the change, which
+                // is not a regression.
+                println!("  {label:<50} skipped (not in head run)");
+            } else {
+                regressions.push(format!("{label}: missing from current run"));
+                println!("  {label:<50} MISSING");
+            }
             continue;
         };
         // Prefer throughput (higher = better); fall back to mean time
@@ -328,10 +358,18 @@ fn perf_gate(args: &[String]) -> ExitCode {
         for r in &regressions {
             eprintln!("  {r}");
         }
-        eprintln!(
-            "(refresh the baseline with: BCOUNT_BENCH_JSON=BENCH_BASELINE.json \
-             cargo bench -p bcount-bench engine -- --test ; see README)"
-        );
+        if args.ab {
+            eprintln!(
+                "(A/B mode: head measured slower than a merge-base rebuild in the \
+                 same job — no committed baseline involved; re-run to rule out \
+                 noise, or justify the regression in the PR)"
+            );
+        } else {
+            eprintln!(
+                "(refresh the baseline with: BCOUNT_BENCH_JSON=BENCH_BASELINE.json \
+                 cargo bench -p bcount-bench engine -- --test ; see README)"
+            );
+        }
         ExitCode::FAILURE
     }
 }

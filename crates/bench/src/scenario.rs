@@ -5,7 +5,11 @@
 //! (LOCAL / CONGEST / a classical baseline) × a seed set. The generic
 //! [`run_scenario`] iterates the cross product and produces one
 //! [`CellRecord`] per cell — the machine-readable outcome records that the
-//! `--json` artifact persists and the CI schema/perf gates consume.
+//! `--json` artifact persists and the CI schema/perf gates consume. Cells
+//! are independent simulations, so with the `parallel` feature the runner
+//! fans them out over the persistent worker pool (results land in
+//! pre-assigned slots — output order and content are identical to the
+//! serial run).
 //!
 //! The experiment tables E1–E14 that are sweeps (as opposed to bespoke
 //! constructions like the phantom-copy graphs of E8) are built by mapping
@@ -464,39 +468,92 @@ impl ToJson for CellRecord {
     }
 }
 
+/// One not-yet-run cell of a scenario's cross product: its coordinates,
+/// and (after the runner visits it) its record. Kept as a flat work list
+/// so the cells can fan out over the worker pool.
+struct CellTask {
+    /// Index into the per-size graph list.
+    graph_index: usize,
+    /// The *requested* size (the `sizes` entry — drives seeding; the
+    /// record's `n` is the generated graph's true size).
+    n: usize,
+    /// Resolved Byzantine budget.
+    budget: usize,
+    placement: Placement,
+    seed: u64,
+    record: Option<CellRecord>,
+}
+
 /// Runs the full cross product of one scenario; `seeds` overrides the
 /// scenario's seed set when given (the bin's `--seeds` flag).
+///
+/// Every cell is an independent simulation, so with the `parallel`
+/// feature the cells **fan out over the persistent worker pool**
+/// (`BCOUNT_POOL_THREADS` sizes it) — cutting full-suite wall clock by
+/// roughly the core count. Records land in pre-assigned slots, so the
+/// returned order (and every record in it) is identical to the serial
+/// run's, whatever the scheduling.
 pub fn run_scenario(s: &Scenario, quick: bool, seeds: Option<&[u64]>) -> Vec<CellRecord> {
     let seed_set: Vec<u64> = match seeds {
         Some(list) if !list.is_empty() => list.to_vec(),
         _ => s.seeds.clone(),
     };
-    let mut cells = Vec::new();
-    for &n in s.sizes_for(quick) {
-        let g = s.family.generate(n, s.graph_seed_base + n as u64);
+    let sizes = s.sizes_for(quick);
+    let graphs: Vec<Graph> = sizes
+        .iter()
+        .map(|&n| s.family.generate(n, s.graph_seed_base + n as u64))
+        .collect();
+    let mut tasks = Vec::new();
+    for (graph_index, &n) in sizes.iter().enumerate() {
         for budget in s.budgets_for(quick) {
             let b = budget.resolve(n);
             for placement in &s.placements {
                 for &seed in &seed_set {
-                    let sim_seed = seed.wrapping_add(n as u64);
-                    let byz = placement.place(&g, b, s.graph_seed_base ^ sim_seed);
-                    let outcome = run_cell(s, &g, &byz, sim_seed);
-                    cells.push(CellRecord {
-                        scenario: s.name.clone(),
-                        family: s.family.label(),
-                        protocol: s.protocol.label().into(),
-                        adversary: s.adversary.label().into(),
-                        placement: placement.label(),
-                        n: g.len(),
-                        budget: byz.len(),
+                    tasks.push(CellTask {
+                        graph_index,
+                        n,
+                        budget: b,
+                        placement: *placement,
                         seed,
-                        outcome,
+                        record: None,
                     });
                 }
             }
         }
     }
-    cells
+    // Chunk size 1: each cell is a whole simulation — orders of magnitude
+    // coarser than the fork overhead, and the smallest unit that load-
+    // balances a heterogeneous sweep (large-n cells dominate).
+    bcount_sim::pool::for_each_chunk_mut(
+        &mut tasks,
+        1,
+        cfg!(feature = "parallel"),
+        &|_, chunk: &mut [CellTask]| {
+            for task in chunk {
+                let g = &graphs[task.graph_index];
+                let sim_seed = task.seed.wrapping_add(task.n as u64);
+                let byz = task
+                    .placement
+                    .place(g, task.budget, s.graph_seed_base ^ sim_seed);
+                let outcome = run_cell(s, g, &byz, sim_seed);
+                task.record = Some(CellRecord {
+                    scenario: s.name.clone(),
+                    family: s.family.label(),
+                    protocol: s.protocol.label().into(),
+                    adversary: s.adversary.label().into(),
+                    placement: task.placement.label(),
+                    n: g.len(),
+                    budget: byz.len(),
+                    seed: task.seed,
+                    outcome,
+                });
+            }
+        },
+    );
+    tasks
+        .into_iter()
+        .map(|task| task.record.expect("every cell slot visited"))
+        .collect()
 }
 
 /// Runs every scenario whose name contains `filter` (empty = all).

@@ -59,6 +59,14 @@ impl Adversary<CongestCounting> for BeaconSpamAdversary {
             }
         }
     }
+
+    /// This strategy never inspects the in-flight honest traffic
+    /// ([`FullInfoView::honest_outgoing`]) — it works off states, inboxes,
+    /// and topology — so it licenses the engine's fused merge→delivery
+    /// pipeline.
+    fn observes_traffic(&self) -> bool {
+        false
+    }
 }
 
 /// A stealthier variant: instead of fabricating beacons from nothing,
@@ -117,6 +125,14 @@ impl Adversary<CongestCounting> for PathTamperAdversary {
             }
         }
     }
+
+    /// This strategy never inspects the in-flight honest traffic
+    /// ([`FullInfoView::honest_outgoing`]) — it works off states, inboxes,
+    /// and topology — so it licenses the engine's fused merge→delivery
+    /// pipeline.
+    fn observes_traffic(&self) -> bool {
+        false
+    }
 }
 
 /// Intermittent spam: attack only every other phase, exploiting the fact
@@ -151,6 +167,14 @@ impl Adversary<CongestCounting> for OscillatingSpamAdversary {
         if pos.phase.is_multiple_of(2) {
             self.inner.on_round(view, ctx);
         }
+    }
+
+    /// This strategy never inspects the in-flight honest traffic
+    /// ([`FullInfoView::honest_outgoing`]) — it works off states, inboxes,
+    /// and topology — so it licenses the engine's fused merge→delivery
+    /// pipeline.
+    fn observes_traffic(&self) -> bool {
+        false
     }
 }
 

@@ -172,6 +172,14 @@ impl Adversary<LocalCounting> for FakeExpanderAdversary {
             ctx.broadcast(b, LocalMsg(fake_view));
         }
     }
+
+    /// This strategy never inspects the in-flight honest traffic
+    /// ([`FullInfoView::honest_outgoing`]) — it works off states, inboxes,
+    /// and topology — so it licenses the engine's fused merge→delivery
+    /// pipeline.
+    fn observes_traffic(&self) -> bool {
+        false
+    }
 }
 
 /// A nuisance attack: each Byzantine node tells different neighbours
@@ -221,6 +229,14 @@ impl Adversary<LocalCounting> for EdgeInjectorAdversary {
                 ctx.send(b, to, LocalMsg(v));
             }
         }
+    }
+
+    /// This strategy never inspects the in-flight honest traffic
+    /// ([`FullInfoView::honest_outgoing`]) — it works off states, inboxes,
+    /// and topology — so it licenses the engine's fused merge→delivery
+    /// pipeline.
+    fn observes_traffic(&self) -> bool {
+        false
     }
 }
 

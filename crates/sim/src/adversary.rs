@@ -169,6 +169,26 @@ pub trait Adversary<P: Protocol> {
     /// Chooses this round's Byzantine messages after observing the honest
     /// round (rushing).
     fn on_round(&mut self, view: &FullInfoView<'_, P>, ctx: &mut ByzantineContext<'_, P::Message>);
+
+    /// Whether this adversary ever reads [`FullInfoView::honest_outgoing`].
+    ///
+    /// The default is `true` — the full rushing view, with the round's
+    /// honest traffic materialized as a flat `(from, to, msg)` vector
+    /// before the adversary runs. An adversary that never inspects that
+    /// slice may override this to return `false`, which licenses the
+    /// engine to **fuse** the merge with the delivery scatter and skip
+    /// building the flat vector entirely (the slice the view exposes is
+    /// then empty). Everything else in the view (honest states, inboxes,
+    /// pids, topology) is unaffected.
+    ///
+    /// Contract: return `false` **only if** `on_round` never calls
+    /// [`FullInfoView::honest_outgoing`]. The engine trusts this
+    /// declaration; `crates/sim/tests/adversary_view.rs` pins the inverse
+    /// guarantee (observing adversaries always get the flat vector, even
+    /// when fusion is requested).
+    fn observes_traffic(&self) -> bool {
+        true
+    }
 }
 
 /// The benign adversary: Byzantine nodes stay silent forever.
@@ -184,6 +204,11 @@ impl<P: Protocol> Adversary<P> for NullAdversary {
         _view: &FullInfoView<'_, P>,
         _ctx: &mut ByzantineContext<'_, P::Message>,
     ) {
+    }
+
+    /// Silence observes nothing — the engine may fuse merge with delivery.
+    fn observes_traffic(&self) -> bool {
+        false
     }
 }
 

@@ -43,6 +43,37 @@
 //! merge already fixed the global message order and the partition preserves
 //! per-destination order, sharded transcripts are bit-identical too (the
 //! determinism suite enforces the full serial/parallel/sharded matrix).
+//!
+//! # The fused merge→delivery pipeline
+//!
+//! The flat `honest_outgoing` vector between merge and delivery exists for
+//! exactly one consumer: a rushing adversary inspecting
+//! [`FullInfoView::honest_outgoing`]. When the configured adversary
+//! declares it never reads that slice
+//! ([`Adversary::observes_traffic`]` == false` — e.g.
+//! [`crate::NullAdversary`] and every attack strategy shipped in this
+//! workspace), the engine
+//! **fuses** the merge with the delivery scatter
+//! ([`SimConfig::fused_merge`], on by default): each outbox send is routed
+//! through the [`DeliveryMap`] and written *directly* into its staged
+//! inbox (or, under [`SimConfig::sharded_merge`], its destination-range
+//! shard queue), skipping the intermediate flat vector entirely — one
+//! write per message instead of write + re-read + re-write.
+//!
+//! The fused scatter additionally visits senders in **increasing-pid
+//! order** (a precomputed permutation). Since the canonical inbox order is
+//! stable-by-sender-pid, every inbox is then *already sorted as
+//! scattered*: the counting sort — and its per-message rank tag — runs
+//! only at inboxes that can receive Byzantine traffic (nodes with a
+//! Byzantine neighbour; edge locality bounds the set at construction).
+//! None of this is observable: a stable sort's output does not depend on
+//! visitation order, metrics are per-sender sums, and there is no
+//! adversary view of the flat vector in fused mode — so fused transcripts
+//! are bit-identical to flat ones (the determinism suite enforces it
+//! across the full serial/parallel/sharded/fused × pool-size matrix).
+//! Whenever the adversary *does* observe — or
+//! [`DeliveryMode::ReferenceSort`] is selected — the engine silently keeps
+//! the flat path: observation always wins over fusion.
 
 use bcount_graph::{Graph, NodeId};
 use rand::{Rng, SeedableRng};
@@ -153,6 +184,15 @@ pub struct SimConfig {
     /// run on worker threads; without them the shards run serially (same
     /// transcript — sharding never changes per-destination order).
     pub sharded_merge: bool,
+    /// Fuse the merge with the delivery scatter, skipping the flat
+    /// `honest_outgoing` vector, **whenever the adversary permits it**:
+    /// fusion is auto-selected only when the configured adversary's
+    /// [`Adversary::observes_traffic`] returns `false` and the delivery
+    /// mode is the counting sort; otherwise the flat path runs regardless
+    /// of this flag. On by default (transcripts are bit-identical either
+    /// way); set to `false` to force the flat pipeline, e.g. for
+    /// equivalence tests or merge-phase benchmarks.
+    pub fused_merge: bool,
     /// Inbox ordering implementation; see [`DeliveryMode`].
     pub delivery: DeliveryMode,
 }
@@ -167,6 +207,7 @@ impl Default for SimConfig {
             record_round_stats: false,
             parallel: false,
             sharded_merge: false,
+            fused_merge: true,
             delivery: DeliveryMode::CountingSort,
         }
     }
@@ -263,6 +304,25 @@ pub struct Simulation<'g, P: Protocol, A> {
     /// Flat per-(destination, distinct sender) counters, CSR-aligned with
     /// `sender_ranks`; zeroed between uses.
     sender_counts: Vec<u32>,
+    /// Whether the fused merge→delivery pipeline is active for this
+    /// execution (resolved once at construction from
+    /// [`SimConfig::fused_merge`], the delivery mode, and the adversary's
+    /// [`Adversary::observes_traffic`] declaration).
+    fused: bool,
+    /// Honest messages merged this round — tracked explicitly because the
+    /// fused pipeline never materializes them as a flat vector.
+    round_honest_messages: u64,
+    /// Node ids in increasing-[`Pid`] order (flattened from
+    /// [`PidIndex::nodes_by_pid`]). The fused merge drains outboxes in
+    /// this order, so every inbox receives its honest traffic already in
+    /// canonical (sender-pid) order — which is what lets the counting
+    /// sort be skipped wherever no Byzantine message can land.
+    pid_order: Vec<u32>,
+    /// Per node: whether any graph neighbour is Byzantine — i.e. whether
+    /// this inbox can *ever* receive Byzantine traffic (edge locality).
+    /// Only these inboxes need rank tags and a counting sort under the
+    /// identity-ordered fused merge.
+    byz_adjacent: Vec<bool>,
     decided_round: Vec<Option<u64>>,
     halted: Vec<bool>,
     metrics: Metrics,
@@ -337,6 +397,20 @@ where
         // order), only how delivery work is partitioned.
         let num_shards = n.div_ceil(256).clamp(2, 16);
         let sender_counts = vec![0; sender_ranks.total()];
+        // Fusion is licensed by the adversary (it gives up the flat
+        // honest-traffic view) and only implemented for the counting sort;
+        // observation or the reference oracle force the flat pipeline.
+        let fused = config.fused_merge
+            && config.delivery == DeliveryMode::CountingSort
+            && !adversary.observes_traffic();
+        let pid_order: Vec<u32> = pid_index.nodes_by_pid().map(|node| node.0).collect();
+        let byz_adjacent: Vec<bool> = (0..n)
+            .map(|v| {
+                graph
+                    .neighbors(NodeId(v as u32))
+                    .any(|w| is_byzantine[w.index()])
+            })
+            .collect();
         Simulation {
             graph,
             config,
@@ -361,6 +435,10 @@ where
             inbox_ranks: (0..n).map(|_| Vec::new()).collect(),
             inbox_pos: (0..n).map(|_| Vec::new()).collect(),
             sender_counts,
+            fused,
+            round_honest_messages: 0,
+            pid_order,
+            byz_adjacent,
             decided_round: vec![None; n],
             halted: vec![false; n],
             metrics: Metrics::new(n),
@@ -379,13 +457,29 @@ where
     }
 
     /// Executes one synchronous round: honest compute, deterministic
-    /// merge, rushing adversary phase, delivery.
+    /// merge (flat, or fused straight into delivery staging), rushing
+    /// adversary phase, delivery.
     pub fn step(&mut self) {
         self.round += 1;
         self.honest_phase();
-        self.merge_outboxes();
+        self.merge_phase();
         self.adversary_phase();
         self.deliver();
+    }
+
+    /// Dispatches the deterministic merge: the fused scatter (direct to
+    /// staged inboxes, or to shard queues) when the adversary licensed it,
+    /// else the flat node-order merge into `honest_outgoing`.
+    fn merge_phase(&mut self) {
+        if self.fused {
+            if self.config.sharded_merge {
+                self.merge_fused_sharded();
+            } else {
+                self.merge_fused();
+            }
+        } else {
+            self.merge_outboxes();
+        }
     }
 
     /// Honest compute: every scheduled node runs [`Protocol::on_round`]
@@ -466,6 +560,104 @@ where
                 self.honest_ranks.push(target.rank);
             }
         }
+        self.round_honest_messages = self.honest_outgoing.len() as u64;
+    }
+
+    /// Fused merge, unsharded: drains every honest outbox **in
+    /// increasing-pid order** and writes each send *directly* into its
+    /// destination's staged inbox, skipping the flat `honest_outgoing`
+    /// vector. Because senders arrive in pid order and the canonical inbox
+    /// order *is* stable-by-sender-pid, every inbox is already sorted as
+    /// scattered — the counting sort (and even its rank tag) is needed
+    /// only where Byzantine traffic can interleave later, i.e. at nodes
+    /// with a Byzantine neighbour. Visitation order is unobservable here
+    /// (no adversary view of the flat vector, metrics are per-sender
+    /// sums), so transcripts remain bit-identical to the flat path's.
+    /// Metrics are accumulated per node and committed in one batch.
+    fn merge_fused(&mut self) {
+        let id_bits = self.config.id_bits;
+        let staged = &mut self.staged;
+        let inbox_ranks = &mut self.inbox_ranks;
+        let outboxes = &mut self.outboxes;
+        let metrics = &mut self.metrics;
+        let byz_adjacent = &self.byz_adjacent;
+        for (inbox, ranks) in staged.iter_mut().zip(inbox_ranks.iter_mut()) {
+            inbox.clear();
+            ranks.clear();
+        }
+        let mut sent = 0u64;
+        for &u in &self.pid_order {
+            let u = u as usize;
+            let outbox = &mut outboxes[u];
+            if outbox.is_empty() {
+                continue;
+            }
+            let sender = self.pids[u];
+            let targets = self.delivery_map.targets_of(u);
+            let count = outbox.len() as u64;
+            let mut bits = 0u64;
+            let mut max_bits = 0u64;
+            for (slot, msg) in outbox.drain(..) {
+                let target = targets[slot as usize];
+                let size = msg.size_bits(id_bits);
+                bits += size;
+                max_bits = max_bits.max(size);
+                let v = target.to.index();
+                staged[v].push(Envelope { sender, msg });
+                if byz_adjacent[v] {
+                    inbox_ranks[v].push(target.rank);
+                }
+            }
+            metrics.per_node[u].record_batch(count, bits, max_bits);
+            sent += count;
+        }
+        self.round_honest_messages = sent;
+    }
+
+    /// Fused merge, sharded: same increasing-pid drain as
+    /// [`Simulation::merge_fused`], but each send lands in its
+    /// destination-range shard queue as a pre-stamped [`Routed`] message —
+    /// the partition [`Simulation::deliver_sharded`] would have built from
+    /// the flat vector, produced without ever materializing it. Queues
+    /// inherit the pid order per destination, so the shard leaves can skip
+    /// the counting sort at Byzantine-free inboxes exactly like the
+    /// unsharded path. The per-shard scatter (+ sort where needed) then
+    /// runs in delivery, in parallel when configured.
+    fn merge_fused_sharded(&mut self) {
+        let n = self.graph.len();
+        let id_bits = self.config.id_bits;
+        let num_shards = self.shard_queues.len();
+        let shard_queues = &mut self.shard_queues;
+        let outboxes = &mut self.outboxes;
+        let metrics = &mut self.metrics;
+        let mut sent = 0u64;
+        for &u in &self.pid_order {
+            let u = u as usize;
+            let outbox = &mut outboxes[u];
+            if outbox.is_empty() {
+                continue;
+            }
+            let sender = self.pids[u];
+            let targets = self.delivery_map.targets_of(u);
+            let count = outbox.len() as u64;
+            let mut bits = 0u64;
+            let mut max_bits = 0u64;
+            for (slot, msg) in outbox.drain(..) {
+                let target = targets[slot as usize];
+                let size = msg.size_bits(id_bits);
+                bits += size;
+                max_bits = max_bits.max(size);
+                shard_queues[shard_of(target.to.index(), n, num_shards)].push(Routed {
+                    sender,
+                    to: target.to,
+                    rank: target.rank,
+                    msg,
+                });
+            }
+            metrics.per_node[u].record_batch(count, bits, max_bits);
+            sent += count;
+        }
+        self.round_honest_messages = sent;
     }
 
     /// Rushing adversary phase: the adversary observes the complete honest
@@ -497,9 +689,10 @@ where
     /// optionally sharded by destination range), and swaps the double
     /// buffer.
     fn deliver(&mut self) {
-        debug_assert_eq!(self.honest_ranks.len(), self.honest_outgoing.len());
+        debug_assert!(self.fused || self.honest_ranks.len() == self.honest_outgoing.len());
+        debug_assert!(!self.fused || self.honest_outgoing.is_empty());
         debug_assert!(self.byz_ranks.is_empty());
-        let honest_message_count = self.honest_outgoing.len() as u64;
+        let honest_message_count = self.round_honest_messages;
         let message_count = honest_message_count + self.byz_outgoing.len() as u64;
         // Account and rank-resolve the Byzantine traffic up front, serially:
         // per-sender metrics writes would race under the sharded scatter,
@@ -516,10 +709,20 @@ where
                 self.byz_ranks.push(rank);
             }
         }
-        match self.config.delivery {
-            DeliveryMode::ReferenceSort => self.deliver_reference(),
-            DeliveryMode::CountingSort if self.config.sharded_merge => self.deliver_sharded(),
-            DeliveryMode::CountingSort => self.deliver_counting(),
+        if self.fused {
+            // The honest traffic was already scattered by the fused merge;
+            // only the Byzantine traffic and the counting sorts remain.
+            if self.config.sharded_merge {
+                self.deliver_fused_sharded();
+            } else {
+                self.deliver_fused();
+            }
+        } else {
+            match self.config.delivery {
+                DeliveryMode::ReferenceSort => self.deliver_reference(),
+                DeliveryMode::CountingSort if self.config.sharded_merge => self.deliver_sharded(),
+                DeliveryMode::CountingSort => self.deliver_counting(),
+            }
         }
         std::mem::swap(&mut self.inboxes, &mut self.staged);
         self.metrics.rounds = self.round;
@@ -598,6 +801,46 @@ where
             });
             self.inbox_ranks[to.index()].push(rank);
         }
+        self.finish_all_inboxes();
+    }
+
+    /// Fused delivery, unsharded: the fused merge already scattered the
+    /// honest traffic into the staged inboxes *in canonical sender-pid
+    /// order*, so only the Byzantine append and a counting sort of the
+    /// Byzantine-adjacent inboxes remain — every other inbox is already in
+    /// its final order. Per-inbox contents are byte-identical to
+    /// [`Simulation::deliver_counting`]'s: a stable sort's output is
+    /// visitation-order independent.
+    fn deliver_fused(&mut self) {
+        for ((from, to, msg), rank) in self.byz_outgoing.drain(..).zip(self.byz_ranks.drain(..)) {
+            debug_assert!(
+                self.byz_adjacent[to.index()],
+                "edge locality: Byzantine traffic only reaches Byzantine-adjacent inboxes"
+            );
+            self.staged[to.index()].push(Envelope {
+                sender: self.pids[from.index()],
+                msg,
+            });
+            self.inbox_ranks[to.index()].push(rank);
+        }
+        for v in 0..self.graph.len() {
+            if !self.byz_adjacent[v] {
+                continue;
+            }
+            let c0 = self.sender_ranks.offset(v);
+            let c1 = self.sender_ranks.offset(v + 1);
+            finish_inbox(
+                &mut self.staged[v],
+                &self.inbox_ranks[v],
+                &mut self.inbox_pos[v],
+                &mut self.sender_counts[c0..c1],
+            );
+        }
+    }
+
+    /// Stable in-place counting sort of every staged inbox (the shared
+    /// tail of the unsharded counting-sort paths).
+    fn finish_all_inboxes(&mut self) {
         for v in 0..self.graph.len() {
             let c0 = self.sender_ranks.offset(v);
             let c1 = self.sender_ranks.offset(v + 1);
@@ -638,10 +881,41 @@ where
                 msg,
             });
         }
+        self.run_shard_lanes();
+    }
+
+    /// Fused delivery, sharded: the fused merge already partitioned the
+    /// honest traffic into the shard queues; append the Byzantine traffic
+    /// (order preserved) and run the per-shard scatter + counting sort.
+    fn deliver_fused_sharded(&mut self) {
+        let n = self.graph.len();
+        let num_shards = self.shard_queues.len();
+        for ((from, to, msg), rank) in self.byz_outgoing.drain(..).zip(self.byz_ranks.drain(..)) {
+            self.shard_queues[shard_of(to.index(), n, num_shards)].push(Routed {
+                sender: self.pids[from.index()],
+                to,
+                rank,
+                msg,
+            });
+        }
+        self.run_shard_lanes();
+    }
+
+    /// Scatters and counting-sorts every shard's queue into its inbox
+    /// range — with the `parallel` feature and [`SimConfig::parallel`],
+    /// shards fan out over the worker pool. Under the fused pipeline the
+    /// queues arrive in canonical pid order, so the leaves skip the rank
+    /// tags and the sort at Byzantine-free inboxes.
+    fn run_shard_lanes(&mut self) {
         let geometry = ShardGeometry {
-            n,
-            shards: num_shards,
+            n: self.graph.len(),
+            shards: self.shard_queues.len(),
             senders: &self.sender_ranks,
+            presorted: if self.fused {
+                Some(&self.byz_adjacent)
+            } else {
+                None
+            },
         };
         let lane = DeliveryLane {
             first_shard: 0,
@@ -664,31 +938,46 @@ where
         &self.inboxes[u.index()]
     }
 
-    /// Runs the compute + deterministic-merge half of the next round,
-    /// leaving the merged traffic staged (benchmark/instrumentation hook;
-    /// pair with [`Simulation::step`]-equivalent completion or
+    /// Runs the compute + deterministic-merge half of the next round (the
+    /// configured merge — flat or fused), leaving the merged traffic
+    /// staged (benchmark/instrumentation hook; pair with
+    /// [`Simulation::step`]-equivalent completion or
     /// [`Simulation::drop_round_traffic`], never with a bare repeat).
     #[doc(hidden)]
     pub fn bench_compute_merge(&mut self) {
         self.round += 1;
         self.honest_phase();
-        self.merge_outboxes();
+        self.merge_phase();
     }
 
     /// Discards the round's merged-but-undelivered traffic — total
     /// omission fault injection, and the reset half of the merge
-    /// micro-benchmark.
+    /// micro-benchmark. Covers every merge variant: the flat vector, the
+    /// fused-scattered staging, and the shard queues.
     #[doc(hidden)]
     pub fn drop_round_traffic(&mut self) {
         self.honest_outgoing.clear();
         self.honest_ranks.clear();
         self.byz_outgoing.clear();
         self.byz_ranks.clear();
+        for queue in &mut self.shard_queues {
+            queue.clear();
+        }
+        if self.fused && !self.config.sharded_merge {
+            for (inbox, ranks) in self.staged.iter_mut().zip(self.inbox_ranks.iter_mut()) {
+                inbox.clear();
+                ranks.clear();
+            }
+        }
+        self.round_honest_messages = 0;
     }
 
     /// Clones the currently merged honest traffic (benchmark hook).
+    /// Requires the flat pipeline — the fused merge never materializes a
+    /// snapshot-able flat vector.
     #[doc(hidden)]
     pub fn bench_snapshot_traffic(&self) -> TrafficSnapshot<P::Message> {
+        debug_assert!(!self.fused, "snapshotting requires the flat pipeline");
         TrafficSnapshot {
             honest: self.honest_outgoing.clone(),
             ranks: self.honest_ranks.clone(),
@@ -698,11 +987,14 @@ where
     /// Refills the merge buffers from a snapshot and runs delivery alone —
     /// the delivery micro-benchmark (the refill clone is the same for
     /// every delivery mode, so mode-to-mode deltas are delivery cost).
+    /// Requires the flat pipeline, like [`Simulation::bench_snapshot_traffic`].
     #[doc(hidden)]
     pub fn bench_deliver_snapshot(&mut self, snapshot: &TrafficSnapshot<P::Message>) {
+        debug_assert!(!self.fused, "snapshot delivery requires the flat pipeline");
         debug_assert!(self.honest_outgoing.is_empty());
         self.honest_outgoing.clone_from(&snapshot.honest);
         self.honest_ranks.clone_from(&snapshot.ranks);
+        self.round_honest_messages = self.honest_outgoing.len() as u64;
         self.byz_outgoing.clear();
         self.byz_ranks.clear();
         self.deliver();
@@ -839,6 +1131,10 @@ struct ShardGeometry<'a> {
     n: usize,
     shards: usize,
     senders: &'a SenderRanks,
+    /// `Some(byz_adjacent)` when the queues were filled by the fused merge
+    /// in canonical pid order: only flagged inboxes need rank tags and a
+    /// counting sort. `None` (the flat partition, node order) sorts all.
+    presorted: Option<&'a [bool]>,
 }
 
 /// The contiguous span of shards (queues + destination-range state) one
@@ -854,72 +1150,106 @@ struct DeliveryLane<'a, M> {
     counts: &'a mut [u32],
 }
 
-/// Recursively splits the shard span, forking via `rayon::join` when the
-/// `parallel` feature and flag are on, until each lane is one shard; then
-/// scatters that shard's queue into its inboxes and counting-sorts them.
+/// Drives the shard lanes through the generic [`crate::pool`] splitter:
+/// the span is halved (forking onto the worker pool when the `parallel`
+/// feature and flag are on) until each lane is one shard, and each leaf
+/// scatters its queue into its inboxes and counting-sorts them.
 fn run_delivery_lane<M: PhaseShared>(
     geometry: ShardGeometry<'_>,
     lane: DeliveryLane<'_, M>,
-    _parallel: bool,
+    parallel: bool,
 ) {
-    if lane.queues.len() > 1 {
-        let mid = lane.queues.len() / 2;
-        let split_node = shard_start(lane.first_shard + mid, geometry.n, geometry.shards);
-        let node_mid = split_node - lane.base_node;
-        let count_mid =
-            geometry.senders.offset(split_node) - geometry.senders.offset(lane.base_node);
-        let (queue_l, queue_r) = lane.queues.split_at_mut(mid);
-        let (staged_l, staged_r) = lane.staged.split_at_mut(node_mid);
-        let (ranks_l, ranks_r) = lane.ranks.split_at_mut(node_mid);
-        let (pos_l, pos_r) = lane.pos.split_at_mut(node_mid);
-        let (counts_l, counts_r) = lane.counts.split_at_mut(count_mid);
-        let left = DeliveryLane {
-            first_shard: lane.first_shard,
-            base_node: lane.base_node,
-            queues: queue_l,
-            staged: staged_l,
-            ranks: ranks_l,
-            pos: pos_l,
-            counts: counts_l,
-        };
-        let right = DeliveryLane {
-            first_shard: lane.first_shard + mid,
-            base_node: split_node,
-            queues: queue_r,
-            staged: staged_r,
-            ranks: ranks_r,
-            pos: pos_r,
-            counts: counts_r,
-        };
-        #[cfg(feature = "parallel")]
-        if _parallel {
-            rayon::join(
-                || run_delivery_lane(geometry, left, true),
-                || run_delivery_lane(geometry, right, true),
-            );
-            return;
-        }
-        run_delivery_lane(geometry, left, _parallel);
-        run_delivery_lane(geometry, right, _parallel);
-        return;
+    crate::pool::for_each_split(
+        lane,
+        parallel,
+        &|lane: DeliveryLane<'_, M>| split_delivery_lane(geometry, lane),
+        &|lane: DeliveryLane<'_, M>| delivery_lane_leaf(geometry, lane),
+    );
+}
+
+/// Halves a delivery lane along its shard span (all six parallel slices
+/// split at the same destination-node boundary), or declares it a leaf
+/// when it covers a single shard.
+fn split_delivery_lane<'a, M>(
+    geometry: ShardGeometry<'_>,
+    lane: DeliveryLane<'a, M>,
+) -> crate::pool::Split<DeliveryLane<'a, M>> {
+    if lane.queues.len() <= 1 {
+        return crate::pool::Split::Leaf(lane);
     }
-    // Leaf: one shard. Scatter its queue (order preserved — the partition
-    // pass pushed in merged order), then sort each inbox in its range.
+    let mid = lane.queues.len() / 2;
+    let split_node = shard_start(lane.first_shard + mid, geometry.n, geometry.shards);
+    let node_mid = split_node - lane.base_node;
+    let count_mid = geometry.senders.offset(split_node) - geometry.senders.offset(lane.base_node);
+    let (queue_l, queue_r) = lane.queues.split_at_mut(mid);
+    let (staged_l, staged_r) = lane.staged.split_at_mut(node_mid);
+    let (ranks_l, ranks_r) = lane.ranks.split_at_mut(node_mid);
+    let (pos_l, pos_r) = lane.pos.split_at_mut(node_mid);
+    let (counts_l, counts_r) = lane.counts.split_at_mut(count_mid);
+    let left = DeliveryLane {
+        first_shard: lane.first_shard,
+        base_node: lane.base_node,
+        queues: queue_l,
+        staged: staged_l,
+        ranks: ranks_l,
+        pos: pos_l,
+        counts: counts_l,
+    };
+    let right = DeliveryLane {
+        first_shard: lane.first_shard + mid,
+        base_node: split_node,
+        queues: queue_r,
+        staged: staged_r,
+        ranks: ranks_r,
+        pos: pos_r,
+        counts: counts_r,
+    };
+    crate::pool::Split::Fork(left, right)
+}
+
+/// One shard's delivery: scatter its queue (order preserved — the
+/// partition pass pushed in merged order), then sort each inbox in its
+/// range. When the queue is presorted (fused merge, canonical pid order)
+/// only Byzantine-adjacent inboxes take rank tags and a counting sort;
+/// the rest are final as scattered.
+fn delivery_lane_leaf<M>(geometry: ShardGeometry<'_>, lane: DeliveryLane<'_, M>) {
     for (inbox, ranks) in lane.staged.iter_mut().zip(lane.ranks.iter_mut()) {
         inbox.clear();
         ranks.clear();
     }
     let queue = &mut lane.queues[0];
-    for routed in queue.drain(..) {
-        let i = routed.to.index() - lane.base_node;
-        lane.staged[i].push(Envelope {
-            sender: routed.sender,
-            msg: routed.msg,
-        });
-        lane.ranks[i].push(routed.rank);
+    match geometry.presorted {
+        None => {
+            for routed in queue.drain(..) {
+                let i = routed.to.index() - lane.base_node;
+                lane.staged[i].push(Envelope {
+                    sender: routed.sender,
+                    msg: routed.msg,
+                });
+                lane.ranks[i].push(routed.rank);
+            }
+        }
+        Some(byz_adjacent) => {
+            for routed in queue.drain(..) {
+                let v = routed.to.index();
+                let i = v - lane.base_node;
+                lane.staged[i].push(Envelope {
+                    sender: routed.sender,
+                    msg: routed.msg,
+                });
+                if byz_adjacent[v] {
+                    lane.ranks[i].push(routed.rank);
+                }
+            }
+        }
     }
     let base_count = geometry.senders.offset(lane.base_node);
     for i in 0..lane.staged.len() {
+        if let Some(byz_adjacent) = geometry.presorted {
+            if !byz_adjacent[lane.base_node + i] {
+                continue;
+            }
+        }
         let c0 = geometry.senders.offset(lane.base_node + i) - base_count;
         let c1 = geometry.senders.offset(lane.base_node + i + 1) - base_count;
         finish_inbox(
@@ -993,45 +1323,67 @@ struct PhaseLane<'a, P: Protocol> {
     halted: &'a mut [bool],
 }
 
-/// Recursively splits the node range, forking via `rayon::join` until
-/// lanes are at most `chunk` wide, then drives each node serially.
+/// Drives the compute lanes through the generic [`crate::pool`] splitter:
+/// the node range is halved (forking onto the worker pool) until lanes are
+/// at most `chunk` wide, then each leaf drives its nodes serially.
 #[cfg(feature = "parallel")]
 fn run_lane<P>(shared: PhaseInputs<'_, P>, lane: PhaseLane<'_, P>, chunk: usize)
 where
     P: Protocol + PhaseSend,
     P::Message: PhaseShared,
 {
+    crate::pool::for_each_split(
+        lane,
+        true,
+        &|lane: PhaseLane<'_, P>| split_phase_lane(lane, chunk),
+        &|lane: PhaseLane<'_, P>| phase_lane_leaf(shared, lane),
+    );
+}
+
+/// Halves a compute lane (all five parallel slices split at the same node
+/// boundary), or declares it a leaf at `chunk` nodes or fewer.
+#[cfg(feature = "parallel")]
+fn split_phase_lane<P: Protocol>(
+    lane: PhaseLane<'_, P>,
+    chunk: usize,
+) -> crate::pool::Split<PhaseLane<'_, P>> {
     let len = lane.protocols.len();
-    if len > chunk {
-        let mid = len / 2;
-        let (proto_l, proto_r) = lane.protocols.split_at_mut(mid);
-        let (rng_l, rng_r) = lane.rngs.split_at_mut(mid);
-        let (out_l, out_r) = lane.outboxes.split_at_mut(mid);
-        let (dec_l, dec_r) = lane.decided_round.split_at_mut(mid);
-        let (halt_l, halt_r) = lane.halted.split_at_mut(mid);
-        let left = PhaseLane {
-            base: lane.base,
-            protocols: proto_l,
-            rngs: rng_l,
-            outboxes: out_l,
-            decided_round: dec_l,
-            halted: halt_l,
-        };
-        let right = PhaseLane {
-            base: lane.base + mid,
-            protocols: proto_r,
-            rngs: rng_r,
-            outboxes: out_r,
-            decided_round: dec_r,
-            halted: halt_r,
-        };
-        rayon::join(
-            || run_lane(shared, left, chunk),
-            || run_lane(shared, right, chunk),
-        );
-        return;
+    if len <= chunk {
+        return crate::pool::Split::Leaf(lane);
     }
-    for i in 0..len {
+    let mid = len / 2;
+    let (proto_l, proto_r) = lane.protocols.split_at_mut(mid);
+    let (rng_l, rng_r) = lane.rngs.split_at_mut(mid);
+    let (out_l, out_r) = lane.outboxes.split_at_mut(mid);
+    let (dec_l, dec_r) = lane.decided_round.split_at_mut(mid);
+    let (halt_l, halt_r) = lane.halted.split_at_mut(mid);
+    let left = PhaseLane {
+        base: lane.base,
+        protocols: proto_l,
+        rngs: rng_l,
+        outboxes: out_l,
+        decided_round: dec_l,
+        halted: halt_l,
+    };
+    let right = PhaseLane {
+        base: lane.base + mid,
+        protocols: proto_r,
+        rngs: rng_r,
+        outboxes: out_r,
+        decided_round: dec_r,
+        halted: halt_r,
+    };
+    crate::pool::Split::Fork(left, right)
+}
+
+/// Drives one lane's nodes serially against their own state slices.
+#[cfg(feature = "parallel")]
+fn phase_lane_leaf<P>(shared: PhaseInputs<'_, P>, lane: PhaseLane<'_, P>)
+where
+    P: Protocol + PhaseSend,
+    P::Message: PhaseShared,
+{
+    for i in 0..lane.protocols.len() {
         let u = lane.base + i;
         if shared.is_byzantine[u] || lane.halted[i] {
             continue;
@@ -1600,6 +1952,75 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn fused_pipeline_matches_flat_per_round() {
+        // NullAdversary licenses fusion (observes_traffic == false), so
+        // the default config fuses; forcing fused_merge = false runs the
+        // flat reference. Inboxes and reports must agree byte-for-byte
+        // every round, in both the unsharded and sharded pipelines, with
+        // a silent Byzantine node in the mix.
+        let g = cycle(19).unwrap();
+        let byz = [NodeId(6)];
+        for sharded in [false, true] {
+            let cfg = |fused_merge| SimConfig {
+                fused_merge,
+                sharded_merge: sharded,
+                max_rounds: 25,
+                stop_when: StopWhen::MaxRoundsOnly,
+                ..SimConfig::default()
+            };
+            let mut fused = flood_sim(&g, &byz, cfg(true));
+            let mut flat = flood_sim(&g, &byz, cfg(false));
+            assert!(fused.fused, "NullAdversary must license fusion");
+            assert!(!flat.fused, "fused_merge=false must force the flat path");
+            for _ in 0..25 {
+                fused.step();
+                flat.step();
+                for u in 0..g.len() {
+                    let u = NodeId(u as u32);
+                    assert_eq!(fused.inbox(u), flat.inbox(u), "sharded={sharded}");
+                }
+            }
+            let (a, b) = (
+                fused.report(StopReason::MaxRounds),
+                flat.report(StopReason::MaxRounds),
+            );
+            assert_eq!(a.metrics, b.metrics, "sharded={sharded}");
+            assert_eq!(a.outputs, b.outputs, "sharded={sharded}");
+        }
+    }
+
+    #[test]
+    fn observing_adversary_disables_fusion() {
+        // MaxFaker keeps the default observes_traffic == true, so even
+        // with fused_merge requested the engine must stay on the flat
+        // path (the adversary's view depends on it).
+        let g = cycle(8).unwrap();
+        let sim = Simulation::new(
+            &g,
+            &[NodeId(0)],
+            |_, init| FloodMax {
+                best: init.pid,
+                changed: false,
+                stable_rounds: 0,
+                budget: 5,
+            },
+            MaxFaker,
+            SimConfig::default(),
+        );
+        assert!(!sim.fused, "observation must win over fusion");
+        // ReferenceSort also forces the flat pipeline, whatever the flags.
+        let sim = flood_sim(
+            &g,
+            &[],
+            SimConfig {
+                delivery: DeliveryMode::ReferenceSort,
+                ..SimConfig::default()
+            },
+        );
+        assert!(!sim.fused, "the reference oracle runs the flat pipeline");
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod idspace;
 pub mod json;
 pub mod message;
 pub mod metrics;
+pub mod pool;
 pub mod protocol;
 pub mod trace;
 

@@ -1,24 +1,31 @@
 //! Determinism regression: every execution mode must produce
 //! **bit-identical** [`SimReport`]s to the serial reference — same pids,
 //! rounds, metrics, outputs, decided rounds, halt flags, and stop reason —
-//! across seeds and topologies.
+//! across seeds, topologies, **and worker-pool sizes**.
 //!
 //! The matrix covers the serial path, the `parallel`-feature honest
-//! phase, the sharded merge, and their composition (parallel compute +
-//! sharded delivery on worker threads):
+//! phase, the sharded merge, the **fused** merge→delivery pipeline, and
+//! their compositions:
 //!
-//! | mode      | compute          | delivery                        |
-//! |-----------|------------------|---------------------------------|
-//! | serial    | node order       | one counting-sort pass          |
-//! | parallel  | rayon fork-join  | one counting-sort pass          |
-//! | sharded   | node order       | per-destination-range shards    |
-//! | both      | rayon fork-join  | shards on rayon fork-join       |
+//! | axis      | values                                             |
+//! |-----------|----------------------------------------------------|
+//! | compute   | node order / rayon fork-join (`parallel`)          |
+//! | delivery  | plain counting sort / per-destination-range shards |
+//! | merge     | flat `honest_outgoing` vector / fused scatter      |
+//! | pool size | 1 / 2 / 4 (`ThreadPoolBuilder`, `install`)         |
+//!
+//! The adversary here declares `observes_traffic() == false`, so
+//! requesting `fused_merge` really activates fusion (the flat modes force
+//! it off); the inverse — an *observing* adversary silently pinning the
+//! flat path whatever the flag says — is covered by
+//! `tests/adversary_view.rs`.
 //!
 //! Without the `parallel` feature the `SimConfig::parallel` flag is an
 //! ignored no-op, so the parallel rows degenerate to serial compute (the
-//! sharded rows still exercise the shard partition); run with
-//! `cargo test -p bcount-sim --features parallel` (CI does) for the real
-//! cross-path comparison.
+//! sharded and fused rows still exercise their merge/delivery layouts);
+//! run with `cargo test -p bcount-sim --features parallel` (CI does,
+//! under `BCOUNT_POOL_THREADS=1` and `=4`) for the real cross-path
+//! comparison.
 
 use bcount_graph::gen::{cycle, hnd, torus2d};
 use bcount_graph::{Graph, NodeId};
@@ -67,7 +74,9 @@ impl Protocol for JitterFlood {
 }
 
 /// A rushing adversary with its own randomness, exercising the adversary
-/// RNG stream and the Byzantine delivery path.
+/// RNG stream and the Byzantine delivery path. It never reads
+/// `honest_outgoing`, and says so — licensing the fused pipeline for the
+/// fused rows of the matrix.
 struct NoisyEcho;
 
 impl Adversary<JitterFlood> for NoisyEcho {
@@ -84,32 +93,61 @@ impl Adversary<JitterFlood> for NoisyEcho {
             ctx.broadcast(b, fake);
         }
     }
+
+    fn observes_traffic(&self) -> bool {
+        false
+    }
 }
 
-/// One execution mode of the serial/parallel/sharded matrix.
+/// One execution mode of the serial/parallel/sharded/fused matrix.
 #[derive(Debug, Clone, Copy)]
 struct Mode {
     parallel: bool,
     sharded: bool,
+    fused: bool,
 }
 
-/// The full matrix, serial reference first.
-const MODES: [Mode; 4] = [
+/// The full matrix, serial flat reference first.
+const MODES: [Mode; 8] = [
     Mode {
         parallel: false,
         sharded: false,
+        fused: false,
     },
     Mode {
         parallel: true,
         sharded: false,
+        fused: false,
     },
     Mode {
         parallel: false,
         sharded: true,
+        fused: false,
     },
     Mode {
         parallel: true,
         sharded: true,
+        fused: false,
+    },
+    Mode {
+        parallel: false,
+        sharded: false,
+        fused: true,
+    },
+    Mode {
+        parallel: true,
+        sharded: false,
+        fused: true,
+    },
+    Mode {
+        parallel: false,
+        sharded: true,
+        fused: true,
+    },
+    Mode {
+        parallel: true,
+        sharded: true,
+        fused: true,
     },
 ];
 
@@ -129,6 +167,7 @@ fn run(g: &Graph, byz: &[NodeId], seed: u64, mode: Mode) -> SimReport<u64> {
             record_round_stats: true,
             parallel: mode.parallel,
             sharded_merge: mode.sharded,
+            fused_merge: mode.fused,
             ..SimConfig::default()
         },
     );
@@ -186,6 +225,33 @@ fn mode_matrix_matches_serial_without_byzantine_nodes() {
     }
 }
 
+/// Pool-size invariance: the whole mode matrix, executed inside explicit
+/// worker pools of size 1 (degenerate — every `join` inlines), 2, and 4,
+/// must reproduce the serial reference transcript bit-for-bit. Combined
+/// with the CI matrix (`BCOUNT_POOL_THREADS=1` and `=4` over the whole
+/// workspace) this pins both the pool's degenerate and concurrent
+/// configurations. Without the `parallel` feature the pool exists but the
+/// engine never forks into it; the assertion still runs (trivially).
+#[test]
+fn mode_matrix_is_pool_size_invariant() {
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let g = hnd(160, 8, &mut rng).unwrap();
+    let byz = [NodeId(5), NodeId(80)];
+    let reference = run(&g, &byz, 42, MODES[0]);
+    for threads in [1usize, 2, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("build test pool");
+        pool.install(|| {
+            for mode in &MODES {
+                let other = run(&g, &byz, 42, *mode);
+                assert_identical(&reference, &other);
+            }
+        });
+    }
+}
+
 #[test]
 fn mode_matrix_step_interleaves_with_serial_state_reads() {
     // step()-level equivalence, not just end-to-end: every intermediate
@@ -202,6 +268,7 @@ fn mode_matrix_step_interleaves_with_serial_state_reads() {
         max_rounds: 25,
         parallel: mode.parallel,
         sharded_merge: mode.sharded,
+        fused_merge: mode.fused,
         ..SimConfig::default()
     };
     let mut sims: Vec<_> = MODES

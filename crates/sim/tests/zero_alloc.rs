@@ -66,16 +66,21 @@ impl Protocol for Chatter {
 
 /// Runs one steady-state window and asserts it performs zero allocations.
 ///
-/// Covers both delivery paths: the plain counting-sort scatter and the
-/// sharded merge (per-destination-range queues) — the sender-rank table,
-/// per-inbox rank/permutation scratch, and shard queues are all built or
-/// grown during warm-up and only reused afterwards.
-fn assert_zero_alloc_rounds(sharded_merge: bool) {
+/// Covers the full merge × delivery layout matrix: the flat merge with
+/// the plain counting-sort scatter and with the sharded merge
+/// (per-destination-range queues), and the **fused** merge→delivery
+/// pipeline in both layouts (`NullAdversary` licenses fusion, so
+/// `fused_merge: true` really takes the fused path) — the sender-rank
+/// table, per-inbox rank/permutation scratch, staged inboxes, and shard
+/// queues are all built or grown during warm-up and only reused
+/// afterwards.
+fn assert_zero_alloc_rounds(sharded_merge: bool, fused_merge: bool) {
     let g = cycle(96).unwrap();
     let cfg = SimConfig {
         max_rounds: u64::MAX,
         stop_when: StopWhen::MaxRoundsOnly,
         sharded_merge,
+        fused_merge,
         ..SimConfig::default()
     };
     let mut sim = Simulation::new(
@@ -96,13 +101,18 @@ fn assert_zero_alloc_rounds(sharded_merge: bool) {
     let delta = ALLOCATIONS.load(Ordering::SeqCst) - before;
     assert_eq!(
         delta, 0,
-        "steady-state rounds must not allocate \
-         (saw {delta} allocations over 200 rounds, sharded_merge={sharded_merge})"
+        "steady-state rounds must not allocate (saw {delta} allocations over \
+         200 rounds, sharded_merge={sharded_merge}, fused_merge={fused_merge})"
     );
 }
 
 fn main() {
-    assert_zero_alloc_rounds(false);
-    assert_zero_alloc_rounds(true);
-    println!("zero_alloc: ok (0 allocations over 200 steady-state rounds, plain and sharded)");
+    assert_zero_alloc_rounds(false, false);
+    assert_zero_alloc_rounds(true, false);
+    assert_zero_alloc_rounds(false, true);
+    assert_zero_alloc_rounds(true, true);
+    println!(
+        "zero_alloc: ok (0 allocations over 200 steady-state rounds; \
+         flat+plain, flat+sharded, fused+plain, fused+sharded)"
+    );
 }

@@ -1,22 +1,377 @@
-//! Offline vendored rayon subset.
+//! Offline vendored rayon subset, backed by a **persistent worker pool**.
 //!
 //! The build environment has no network access, so this crate provides the
-//! fork-join primitive the simulator's `parallel` feature builds on:
-//! [`join`] implemented over `std::thread::scope`. There is no work-stealing
-//! pool — each `join` spawns one OS thread for its second closure — so
-//! callers should recurse down to coarse chunks (the engine splits the node
-//! range to roughly [`current_num_threads`] × a small factor leaves). The
-//! surface is call-compatible with rayon's `join`, so swapping the real
-//! crate back in (edit the `vendor/` path entries in the workspace
-//! `Cargo.toml`) is a no-op for callers and buys back the pool.
+//! fork-join primitives the simulator's `parallel` feature builds on. Since
+//! PR 4 it is a real pool, not a spawn-per-call shim:
+//!
+//! * **Long-lived workers** — the global pool's threads are created once
+//!   (lazily, on first use) and live for the process. The pool size comes
+//!   from `BCOUNT_POOL_THREADS` when set, else
+//!   [`std::thread::available_parallelism`]. A pool of size `k` spawns
+//!   `k − 1` workers: the calling thread always participates, so a size-1
+//!   pool is the degenerate serial configuration with **zero** threads and
+//!   zero synchronization (every [`join`] runs inline).
+//! * **Chunked shared-injector deque** — jobs go into one shared deque;
+//!   workers pop FIFO from the front, while threads *waiting* on a join or
+//!   scope steal LIFO from the back (most recently pushed — their own
+//!   fork's job or one of its descendants, in the common case). A waiting
+//!   thread never blocks while runnable work exists, which is what makes
+//!   nested `join`s deadlock-free: every waiter drains the queue before
+//!   parking, so a queued job can always be claimed by *some* thread that
+//!   is guaranteed to run it.
+//! * **Call-compatible surface** — [`join`], [`scope`],
+//!   [`current_num_threads`], [`ThreadPool`] (`install`,
+//!   `current_num_threads`) and [`ThreadPoolBuilder`] (`num_threads`,
+//!   `build`) match the crates.io signatures, so swapping the real crate
+//!   back in (edit the `vendor/` path entries in the workspace
+//!   `Cargo.toml`) is a no-op for callers and buys back lock-free deques.
+//!
+//! One documented divergence: [`ThreadPool::install`] runs the closure on
+//! the *calling* thread with the pool made current (crates.io migrates it
+//! onto a worker). Transcript-determinism is unaffected — callers in this
+//! workspace never depend on which thread executes.
+//!
+//! # Safety
+//!
+//! This crate contains the workspace's only `unsafe` code (mirroring the
+//! real rayon, whose core is likewise unsafe): [`join`] and
+//! [`Scope::spawn`] erase the lifetime of a closure so it can sit in the
+//! shared queue while borrowing the forking stack frame. Soundness rests on
+//! one invariant, upheld by construction and spelled out at each call site:
+//! **the forking call does not return — not even by unwinding — until the
+//! erased job has finished running**, so every borrow the closure captures
+//! strictly outlives its execution.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+use std::time::Duration;
+
+/// A lifetime-erased unit of work in the shared deque.
+type Job = Box<dyn FnOnce() + Send>;
+
+/// Environment variable overriding the global pool size.
+pub const POOL_THREADS_ENV: &str = "BCOUNT_POOL_THREADS";
+
+// ---------------------------------------------------------------------------
+// Pool internals.
+// ---------------------------------------------------------------------------
+
+struct PoolState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// The shared heart of a pool: the injector deque plus its size. Workers,
+/// forking threads, and `ThreadPool` handles all hold an `Arc` of this.
+struct PoolShared {
+    threads: usize,
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+}
+
+impl PoolShared {
+    fn new(threads: usize) -> Self {
+        PoolShared {
+            threads,
+            state: Mutex::new(PoolState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+        }
+    }
+
+    /// Pushes a job on the back of the deque and wakes one worker.
+    fn inject(&self, job: Job) {
+        let mut state = self.state.lock().expect("pool mutex poisoned");
+        state.jobs.push_back(job);
+        drop(state);
+        self.work_ready.notify_one();
+    }
+
+    /// LIFO pop from the back — the waiting-thread steal path.
+    fn try_pop_back(&self) -> Option<Job> {
+        self.state
+            .lock()
+            .expect("pool mutex poisoned")
+            .jobs
+            .pop_back()
+    }
+
+    /// Worker loop body: FIFO-pop jobs until shutdown.
+    fn run_worker(self: &Arc<Self>) {
+        CURRENT_POOL.with(|current| *current.borrow_mut() = Some(Arc::clone(self)));
+        loop {
+            let job = {
+                let mut state = self.state.lock().expect("pool mutex poisoned");
+                loop {
+                    if let Some(job) = state.jobs.pop_front() {
+                        break Some(job);
+                    }
+                    if state.shutdown {
+                        break None;
+                    }
+                    state = self.work_ready.wait(state).expect("pool mutex poisoned");
+                }
+            };
+            match job {
+                // Jobs capture their own panics into join slots / scope
+                // latches; the catch here only shields the worker loop from
+                // a hypothetical leak so the pool can never lose a thread.
+                Some(job) => {
+                    let _ = catch_unwind(AssertUnwindSafe(job));
+                }
+                None => return,
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// The pool the current thread forks into: set for workers (their own
+    /// pool) and inside [`ThreadPool::install`]; everyone else uses the
+    /// global pool.
+    static CURRENT_POOL: RefCell<Option<Arc<PoolShared>>> = const { RefCell::new(None) };
+}
+
+fn current_shared() -> Arc<PoolShared> {
+    CURRENT_POOL
+        .with(|current| current.borrow().clone())
+        .unwrap_or_else(|| Arc::clone(&global_pool().shared))
+}
+
+fn global_pool() -> &'static ThreadPool {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        ThreadPoolBuilder::new()
+            .build()
+            .expect("spawn global pool workers")
+    })
+}
+
+/// The global pool size: `BCOUNT_POOL_THREADS` when set and sane, else the
+/// machine's available parallelism.
+fn default_threads() -> usize {
+    if let Ok(value) = std::env::var(POOL_THREADS_ENV) {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            return n.clamp(1, 1024);
+        }
+    }
+    thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The parallelism of the current pool (the global pool unless running on
+/// a [`ThreadPool`]'s worker or inside [`ThreadPool::install`]). Callers
+/// use it to pick chunk sizes.
+pub fn current_num_threads() -> usize {
+    current_shared().threads
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool / ThreadPoolBuilder.
+// ---------------------------------------------------------------------------
+
+/// Error building a [`ThreadPool`] (worker spawn failure).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    message: String,
+}
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builds [`ThreadPool`]s; mirrors the crates.io builder surface.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings (global sizing rules).
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the pool size. As on crates.io, `0` means "use the default"
+    /// (`BCOUNT_POOL_THREADS` or the machine parallelism).
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = Some(num_threads);
+        self
+    }
+
+    /// Spawns the workers and returns the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = match self.num_threads {
+            Some(0) | None => default_threads(),
+            Some(n) => n.clamp(1, 1024),
+        };
+        let shared = Arc::new(PoolShared::new(threads));
+        // The forking thread participates, so `threads - 1` workers give a
+        // total parallelism of `threads`; a size-1 pool is fully inline.
+        let mut workers = Vec::new();
+        for index in 1..threads {
+            let worker_shared = Arc::clone(&shared);
+            match thread::Builder::new()
+                .name(format!("bcount-pool-{index}"))
+                .spawn(move || worker_shared.run_worker())
+            {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    // Don't leak the workers that did start: they would
+                    // otherwise park on `work_ready` forever, pinning
+                    // their threads and the pool state for the process.
+                    {
+                        let mut state = shared.state.lock().expect("pool mutex poisoned");
+                        state.shutdown = true;
+                    }
+                    shared.work_ready.notify_all();
+                    for handle in workers {
+                        let _ = handle.join();
+                    }
+                    return Err(ThreadPoolBuildError {
+                        message: e.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(ThreadPool { shared, workers })
+    }
+}
+
+/// A persistent worker pool. The process-wide global pool is built lazily
+/// on first [`join`]/[`scope`]; explicit pools (determinism tests, sizing
+/// experiments) are built with [`ThreadPoolBuilder`] and entered with
+/// [`ThreadPool::install`].
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool as the current fork target: every [`join`]
+    /// and [`scope`] reached from inside (including from this pool's
+    /// workers) schedules onto this pool.
+    ///
+    /// Unlike crates.io rayon, `op` runs on the *calling* thread rather
+    /// than being migrated onto a worker; callers in this workspace never
+    /// observe the difference (transcripts are thread-placement
+    /// independent).
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        struct Restore(Option<Arc<PoolShared>>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let previous = self.0.take();
+                CURRENT_POOL.with(|current| *current.borrow_mut() = previous);
+            }
+        }
+        let previous =
+            CURRENT_POOL.with(|current| current.borrow_mut().replace(Arc::clone(&self.shared)));
+        let _restore = Restore(previous);
+        op()
+    }
+
+    /// This pool's total parallelism (workers + the participating caller).
+    pub fn current_num_threads(&self) -> usize {
+        self.shared.threads
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool mutex poisoned");
+            state.shutdown = true;
+        }
+        self.work_ready_broadcast();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl ThreadPool {
+    fn work_ready_broadcast(&self) {
+        self.shared.work_ready.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// join.
+// ---------------------------------------------------------------------------
+
+/// Where a forked closure's outcome lands: the forking thread blocks (or
+/// help-runs queued jobs) until the slot fills.
+struct JoinSlot<R> {
+    result: Mutex<Option<thread::Result<R>>>,
+    done: Condvar,
+}
+
+impl<R> JoinSlot<R> {
+    fn new() -> Self {
+        JoinSlot {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, result: thread::Result<R>) {
+        *self.result.lock().expect("join slot poisoned") = Some(result);
+        self.done.notify_all();
+    }
+}
+
+/// Helps the pool until `slot` fills, then takes the result. The waiting
+/// thread steals queued jobs (LIFO) instead of parking whenever work is
+/// available — the property that makes nested joins deadlock-free.
+fn wait_join<R>(shared: &PoolShared, slot: &JoinSlot<R>) -> thread::Result<R> {
+    loop {
+        if let Some(result) = slot.result.lock().expect("join slot poisoned").take() {
+            return result;
+        }
+        if let Some(job) = shared.try_pop_back() {
+            job();
+            continue;
+        }
+        // No runnable work: park briefly on the slot's condvar. The
+        // timeout re-checks the queue, closing the race where a nested
+        // fork injects a job between our pop attempt and the wait.
+        let guard = slot.result.lock().expect("join slot poisoned");
+        let (mut guard, _) = slot
+            .done
+            .wait_timeout(guard, Duration::from_micros(200))
+            .expect("join slot poisoned");
+        if let Some(result) = guard.take() {
+            return result;
+        }
+    }
+}
 
 /// Runs both closures, potentially in parallel, returning both results.
 ///
-/// `oper_a` runs on the calling thread; `oper_b` runs on a freshly spawned
-/// scoped thread. Panics in either closure propagate to the caller.
+/// `oper_a` runs on the calling thread; `oper_b` is pushed to the current
+/// pool's injector, where an idle worker (or this thread, stealing it back
+/// after finishing `oper_a`) picks it up. On a size-1 pool both simply run
+/// inline. Panics in either closure propagate to the caller (after both
+/// have finished).
 pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -24,28 +379,180 @@ where
     RA: Send,
     RB: Send,
 {
-    std::thread::scope(|scope| {
-        let handle_b = scope.spawn(oper_b);
+    let shared = current_shared();
+    if shared.threads <= 1 {
         let ra = oper_a();
-        let rb = match handle_b.join() {
-            Ok(rb) => rb,
-            Err(panic) => std::panic::resume_unwind(panic),
-        };
-        (ra, rb)
-    })
+        let rb = oper_b();
+        return (ra, rb);
+    }
+    let slot: Arc<JoinSlot<RB>> = Arc::new(JoinSlot::new());
+    let completer = Arc::clone(&slot);
+    let job: Box<dyn FnOnce() + Send + '_> =
+        Box::new(move || completer.complete(catch_unwind(AssertUnwindSafe(oper_b))));
+    // SAFETY: the erased job borrows this stack frame (through `oper_b`'s
+    // captures). Every path out of this function first runs `wait_join`,
+    // which returns only once the job has executed and filled `slot` — so
+    // the borrows outlive the job even when `oper_a` panics.
+    let job: Job = unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
+    shared.inject(job);
+    let ra = match catch_unwind(AssertUnwindSafe(oper_a)) {
+        Ok(ra) => ra,
+        Err(panic) => {
+            let _ = wait_join(&shared, &slot);
+            resume_unwind(panic);
+        }
+    };
+    match wait_join(&shared, &slot) {
+        Ok(rb) => (ra, rb),
+        Err(panic) => resume_unwind(panic),
+    }
 }
 
-/// The parallelism the machine offers (used by callers to pick chunk
-/// sizes; this vendored implementation has no thread pool to size).
-pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+// ---------------------------------------------------------------------------
+// scope.
+// ---------------------------------------------------------------------------
+
+struct ScopeLatch {
+    pending: Mutex<usize>,
+    all_done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl ScopeLatch {
+    fn new() -> Self {
+        ScopeLatch {
+            pending: Mutex::new(0),
+            all_done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn increment(&self) {
+        *self.pending.lock().expect("scope latch poisoned") += 1;
+    }
+
+    fn finish(&self, panic: Option<Box<dyn Any + Send>>) {
+        if let Some(panic) = panic {
+            let mut slot = self.panic.lock().expect("scope latch poisoned");
+            if slot.is_none() {
+                *slot = Some(panic);
+            }
+        }
+        let mut pending = self.pending.lock().expect("scope latch poisoned");
+        *pending -= 1;
+        if *pending == 0 {
+            drop(pending);
+            self.all_done.notify_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        *self.pending.lock().expect("scope latch poisoned") == 0
+    }
+}
+
+/// A fork scope handed to [`scope`]'s closure; spawned tasks may borrow
+/// anything that outlives `'scope`.
+pub struct Scope<'scope> {
+    shared: Arc<PoolShared>,
+    latch: Arc<ScopeLatch>,
+    _marker: PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns `body` onto the scope's pool. The task may itself spawn
+    /// further tasks through the scope reference it receives.
+    pub fn spawn<BODY>(&self, body: BODY)
+    where
+        BODY: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.latch.increment();
+        if self.shared.threads <= 1 {
+            let nested = Scope {
+                shared: Arc::clone(&self.shared),
+                latch: Arc::clone(&self.latch),
+                _marker: PhantomData,
+            };
+            let result = catch_unwind(AssertUnwindSafe(|| body(&nested)));
+            self.latch.finish(result.err());
+            return;
+        }
+        let shared = Arc::clone(&self.shared);
+        let latch = Arc::clone(&self.latch);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let nested = Scope {
+                shared: Arc::clone(&shared),
+                latch: Arc::clone(&latch),
+                _marker: PhantomData,
+            };
+            let result = catch_unwind(AssertUnwindSafe(|| body(&nested)));
+            latch.finish(result.err());
+        });
+        // SAFETY: `scope` does not return (not even by unwinding) until
+        // the latch reports every spawned task finished, so the borrows
+        // captured by `body` outlive the job's execution.
+        let job: Job =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
+        self.shared.inject(job);
+    }
+}
+
+/// Creates a fork scope: tasks spawned inside may borrow from the caller's
+/// stack, and `scope` returns only once every task has completed. The
+/// first task panic (or a panic in `op` itself) propagates to the caller.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let fork_scope = Scope {
+        shared: current_shared(),
+        latch: Arc::new(ScopeLatch::new()),
+        _marker: PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| op(&fork_scope)));
+    // Help-run queued jobs until every spawned task has finished.
+    loop {
+        if fork_scope.latch.is_done() {
+            break;
+        }
+        if let Some(job) = fork_scope.shared.try_pop_back() {
+            job();
+            continue;
+        }
+        let pending = fork_scope
+            .latch
+            .pending
+            .lock()
+            .expect("scope latch poisoned");
+        if *pending == 0 {
+            break;
+        }
+        let _ = fork_scope
+            .latch
+            .all_done
+            .wait_timeout(pending, Duration::from_micros(200))
+            .expect("scope latch poisoned");
+    }
+    if let Some(panic) = fork_scope
+        .latch
+        .panic
+        .lock()
+        .expect("scope latch poisoned")
+        .take()
+    {
+        resume_unwind(panic);
+    }
+    match result {
+        Ok(value) => value,
+        Err(panic) => resume_unwind(panic),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn join_returns_both_results() {
@@ -66,5 +573,107 @@ mod tests {
     #[should_panic(expected = "boom")]
     fn panics_propagate() {
         join(|| (), || panic!("boom"));
+    }
+
+    #[test]
+    fn nested_joins_complete_on_small_pools() {
+        // A fork tree deeper than the worker count exercises the
+        // steal-back path: waiting threads must run queued jobs.
+        fn sum(range: std::ops::Range<u64>) -> u64 {
+            let len = range.end - range.start;
+            if len <= 8 {
+                return range.sum();
+            }
+            let mid = range.start + len / 2;
+            let (a, b) = join(|| sum(range.start..mid), || sum(mid..range.end));
+            a + b
+        }
+        for threads in [1, 2, 4] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let total = pool.install(|| sum(0..10_000));
+            assert_eq!(total, 10_000 * 9_999 / 2, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn install_routes_current_num_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 3);
+        // Back outside, the global sizing rules apply again.
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn workers_are_persistent_across_joins() {
+        // Many sequential joins on one pool must not grow the thread
+        // count: record the distinct worker thread ids seen.
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let ids = Mutex::new(std::collections::HashSet::new());
+        pool.install(|| {
+            for _ in 0..100 {
+                join(
+                    || {
+                        ids.lock().unwrap().insert(thread::current().id());
+                    },
+                    || {
+                        ids.lock().unwrap().insert(thread::current().id());
+                    },
+                );
+            }
+        });
+        // Caller + at most 3 workers.
+        assert!(ids.lock().unwrap().len() <= 4);
+    }
+
+    #[test]
+    fn scope_waits_for_all_spawns() {
+        let counter = AtomicUsize::new(0);
+        for threads in [1, 4] {
+            counter.store(0, Ordering::SeqCst);
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                scope(|s| {
+                    for _ in 0..32 {
+                        s.spawn(|inner| {
+                            counter.fetch_add(1, Ordering::SeqCst);
+                            inner.spawn(|_| {
+                                counter.fetch_add(1, Ordering::SeqCst);
+                            });
+                        });
+                    }
+                });
+            });
+            assert_eq!(counter.load(Ordering::SeqCst), 64, "threads={threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scope boom")]
+    fn scope_propagates_task_panics() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| {
+            scope(|s| {
+                s.spawn(|_| panic!("scope boom"));
+            });
+        });
+    }
+
+    #[test]
+    fn size_one_pool_is_fully_inline() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let caller = thread::current().id();
+        pool.install(|| {
+            let (a, b) = join(|| thread::current().id(), || thread::current().id());
+            assert_eq!(a, caller);
+            assert_eq!(b, caller);
+        });
     }
 }

@@ -80,7 +80,7 @@ impl Protocol for FloodDiameter {
         for env in ctx.inbox() {
             match env.msg {
                 FloodMsg::Token => got_token = true,
-                FloodMsg::MaxDist(d) => max_seen = max_seen.max(d),
+                FloodMsg::MaxDist(d) => max_seen = max_seen.max(*d),
             }
         }
         if got_token && self.my_dist.is_none() {

@@ -5,30 +5,44 @@
 //! elements = rounds per iteration), so the perf trajectory of the engine
 //! is one number per graph size. The `reuse_buffers` benchmarks measure
 //! the steady-state round loop alone (one long-lived simulation stepped
-//! in place — the zero-alloc hot path); since PR 4 the default
-//! configuration auto-selects the **fused** merge→delivery pipeline (the
-//! benign `NullAdversary` licenses it), so `reuse_buffers` is the fused
-//! number and `reuse_buffers_flat` pins the flat (pre-fusion) pipeline
-//! for comparison. `reuse_buffers_sharded` runs the fused sharded merge;
-//! the `full_execution` benchmarks include construction, pid assignment,
-//! and buffer warm-up. With `--features parallel` the same workloads are
-//! additionally run through the parallel honest phase + pooled shard
-//! delivery for comparison (`BCOUNT_POOL_THREADS` sizes the pool).
+//! in place — the zero-alloc hot path); since PR 5 the default
+//! configuration auto-selects the **SoA arena** message plane (the benign
+//! `NullAdversary` licenses it), so `reuse_buffers` is the arena number,
+//! `reuse_buffers_arena` pins that layout explicitly,
+//! `reuse_buffers_pernode` pins the legacy per-node layout under the PR 4
+//! fused pipeline (the arena win's denominator), and `reuse_buffers_flat`
+//! pins the flat (pre-fusion) pipeline. `reuse_buffers_sharded` runs the
+//! sharded arena merge; the `full_execution` benchmarks include
+//! construction, pid assignment, and buffer warm-up. With `--features
+//! parallel` the same workloads are additionally run through the parallel
+//! honest phase + pooled shard delivery for comparison
+//! (`BCOUNT_POOL_THREADS` sizes the pool).
 //!
-//! The `engine_phases` group decomposes one round: `merge` is honest
-//! compute + the deterministic *flat* merge with delivery skipped
-//! (traffic dropped), `fused_partition` is the same half-round through
-//! the fused scatter (compute + merge + delivery staging in one pass),
-//! and the `delivery_*` benchmarks re-deliver one snapshotted round of
-//! merged traffic per iteration (reported as messages/sec) — counting
-//! sort vs sharded counting sort vs the reference comparison sort, so
-//! the delivery rewrite's win is measured directly (snapshot refill
-//! requires the flat pipeline, so these pin `fused_merge: false`).
+//! The `engine_phases` group decomposes one round. Legacy phases: `merge`
+//! is honest compute + the deterministic *flat* merge with delivery
+//! skipped (traffic dropped), `fused_partition` is the same half-round
+//! through the per-node fused scatter, and the `delivery_*` benchmarks
+//! re-deliver one snapshotted round of merged traffic per iteration
+//! (messages/sec; snapshot refill requires the flat pipeline, so these
+//! pin `fused_merge: false`). Arena phases: `compute` is the honest phase
+//! alone (traffic dropped), `count_pass` adds the two-pass merge's
+//! per-destination counting pass (forced — the production fast path skips
+//! it on monotone rounds), `placement` measures the prefix-sum placement
+//! alone from a counts snapshot (messages placed/sec), and
+//! `arena_scatter` is the whole *production* arena round minus the empty
+//! adversary phase — on this all-broadcast workload that is the
+//! broadcast-table fast path (merge scan + table scatter; no count, no
+//! placement, no sort), so the production scatter cost is
+//! `arena_scatter` minus `compute` (minus the scan share of
+//! `count_pass`), while the forced-count delta `count_pass` minus
+//! `compute` prices the two-pass fallback's extra pass. The two groups
+//! deliberately measure different paths — don't difference
+//! `arena_scatter` against `count_pass`.
 
 use bcount_bench::runners::network;
 use bcount_sim::{
-    DeliveryMode, MessageSize, NodeContext, NullAdversary, Protocol, SimConfig, Simulation,
-    StopWhen,
+    DeliveryMode, InboxLayout, MessageSize, NodeContext, NullAdversary, Protocol, SimConfig,
+    Simulation, StopWhen,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::time::Duration;
@@ -114,6 +128,43 @@ fn bench_engine(c: &mut Criterion) {
                     sim.step();
                 }
                 sim.round()
+            });
+        });
+
+        // The arena lane, pinned explicitly (today identical to the
+        // default `reuse_buffers`; stays meaningful if the default layout
+        // ever changes).
+        let mut asim = warmed(
+            &g,
+            SimConfig {
+                layout: InboxLayout::Arena,
+                ..chatter_config(false)
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("reuse_buffers_arena", n), &n, |b, _| {
+            b.iter(|| {
+                for _ in 0..ROUNDS {
+                    asim.step();
+                }
+                asim.round()
+            });
+        });
+
+        // The legacy per-node layout under the fused pipeline — the PR 4
+        // default, and the arena win's denominator.
+        let mut nsim = warmed(
+            &g,
+            SimConfig {
+                layout: InboxLayout::PerNode,
+                ..chatter_config(false)
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("reuse_buffers_pernode", n), &n, |b, _| {
+            b.iter(|| {
+                for _ in 0..ROUNDS {
+                    nsim.step();
+                }
+                nsim.round()
             });
         });
 
@@ -222,8 +273,16 @@ fn bench_phases(c: &mut Criterion) {
 
         // compute + fused scatter (merge fused straight into delivery
         // staging), ROUNDS rounds per iteration. The delta vs `merge`
-        // plus `delivery_counting` is the fusion win.
-        let mut fsim = warmed(&g, chatter_config(false));
+        // plus `delivery_counting` is the fusion win. Pinned to the
+        // legacy per-node layout — the arena has its own decomposition
+        // below.
+        let mut fsim = warmed(
+            &g,
+            SimConfig {
+                layout: InboxLayout::PerNode,
+                ..chatter_config(false)
+            },
+        );
         group.bench_with_input(BenchmarkId::new("fused_partition", n), &n, |b, _| {
             b.iter(|| {
                 for _ in 0..ROUNDS {
@@ -233,6 +292,61 @@ fn bench_phases(c: &mut Criterion) {
                 fsim.round()
             });
         });
+
+        // --- Arena (two-pass merge) decomposition. ---------------------
+        // compute alone: the honest phase with the round's outboxes
+        // discarded — the baseline every other arena phase adds onto.
+        let mut csim = warmed(&g, chatter_config(false));
+        group.bench_with_input(BenchmarkId::new("compute", n), &n, |b, _| {
+            b.iter(|| {
+                for _ in 0..ROUNDS {
+                    csim.bench_compute_only();
+                    csim.drop_round_traffic();
+                }
+                csim.round()
+            });
+        });
+
+        // compute + the arena count pass (two-pass merge, pass 1 — forced
+        // even though the production fast path would skip it for this
+        // monotone broadcast workload).
+        let mut ksim = warmed(&g, chatter_config(false));
+        group.bench_with_input(BenchmarkId::new("count_pass", n), &n, |b, _| {
+            b.iter(|| {
+                for _ in 0..ROUNDS {
+                    ksim.bench_count_pass();
+                    ksim.drop_round_traffic();
+                }
+                ksim.round()
+            });
+        });
+
+        // The whole production arena round minus the (empty) adversary
+        // phase — the broadcast-table fast path on this workload (see
+        // the module docs for what may and may not be differenced).
+        let mut ssim = warmed(&g, chatter_config(false));
+        group.bench_with_input(BenchmarkId::new("arena_scatter", n), &n, |b, _| {
+            b.iter(|| {
+                for _ in 0..ROUNDS {
+                    ssim.bench_compute_merge();
+                    ssim.bench_deliver_staged();
+                }
+                ssim.round()
+            });
+        });
+
+        // Prefix-sum placement alone, from a snapshotted count-pass
+        // tally: tallies → exact spans, reported per message placed.
+        let mut psim = warmed(&g, chatter_config(false));
+        psim.bench_compute_merge();
+        let counts = psim.bench_snapshot_counts();
+        let placed: u64 = counts.iter().map(|&c| u64::from(c)).sum();
+        psim.drop_round_traffic();
+        group.throughput(Throughput::Elements(placed));
+        group.bench_with_input(BenchmarkId::new("placement", n), &n, |b, _| {
+            b.iter(|| psim.bench_arena_placement(&counts));
+        });
+        group.throughput(Throughput::Elements(ROUNDS));
 
         // Delivery alone: refill the merge buffers from a snapshot and
         // deliver, once per iteration. The refill clone is identical for

@@ -25,7 +25,7 @@ use bcount_graph::{Graph, NodeId};
 use rand_chacha::ChaCha8Rng;
 
 use crate::idspace::{Pid, PidIndex};
-use crate::message::Envelope;
+use crate::message::{Inbox, InboxesView};
 use crate::protocol::Protocol;
 
 /// Everything the adversary can observe in a round (full information).
@@ -45,8 +45,9 @@ pub struct FullInfoView<'a, P: Protocol> {
     /// observable before the adversary commits (rushing).
     pub(crate) honest_outgoing: &'a [(NodeId, NodeId, P::Message)],
     /// What every node received at the end of last round (the adversary
-    /// sees all channels — full information).
-    pub(crate) inboxes: &'a [Vec<Envelope<P::Message>>],
+    /// sees all channels — full information), in whichever physical
+    /// layout the engine selected.
+    pub(crate) inboxes: InboxesView<'a, P::Message>,
 }
 
 impl<'a, P: Protocol> FullInfoView<'a, P> {
@@ -96,11 +97,12 @@ impl<'a, P: Protocol> FullInfoView<'a, P> {
         self.honest_outgoing
     }
 
-    /// What node `u` received at the end of the previous round. The
-    /// adversary may inspect *any* node's channel (full information); its
-    /// own Byzantine nodes' inboxes are the usual use.
-    pub fn inbox(&self, u: NodeId) -> &[Envelope<P::Message>] {
-        &self.inboxes[u.index()]
+    /// What node `u` received at the end of the previous round, as a
+    /// layout-independent [`Inbox`] view. The adversary may inspect *any*
+    /// node's channel (full information); its own Byzantine nodes'
+    /// inboxes are the usual use.
+    pub fn inbox(&self, u: NodeId) -> Inbox<'a, P::Message> {
+        self.inboxes.inbox(u.index())
     }
 }
 

@@ -74,6 +74,46 @@
 //! Whenever the adversary *does* observe — or
 //! [`DeliveryMode::ReferenceSort`] is selected — the engine silently keeps
 //! the flat path: observation always wins over fusion.
+//!
+//! # The flat SoA message plane (arena layout)
+//!
+//! [`InboxLayout::Arena`] (the default) replaces the per-node
+//! `Vec<Envelope>` inboxes with **one contiguous structure-of-arrays
+//! arena per buffer generation** ([`crate::message::InboxArena`]): sender,
+//! payload, and counting-sort rank live in parallel arrays, and node `v`'s
+//! inbox is the span `offsets[v]..offsets[v] + lens[v]`. The spans are
+//! computed fresh each round by a **two-pass count/prefix-sum merge**:
+//!
+//! 1. **Count pass** — the merge tallies the round's honest messages per
+//!    destination (one [`DeliveryMap`] load and one counter increment per
+//!    message; per-node metrics are recorded here). The adversary's sends
+//!    join the tallies at delivery time.
+//! 2. **Prefix-sum placement** — a single scan turns the tallies into
+//!    exact per-node spans and write cursors. Capacity is exact by
+//!    construction: the scatter performs *no growth checks and no
+//!    per-node allocations*, and the arena arrays are degree-presized at
+//!    start-up (capacity = the delivery map's slot total).
+//! 3. **Scatter** — outboxes are drained in increasing-pid order and every
+//!    message is written once, directly into its final arena position;
+//!    Byzantine traffic follows in emission order. As in the fused
+//!    pipeline, the counting sort then runs only at Byzantine-adjacent
+//!    spans — permuting the small parallel arrays through the same
+//!    index-based cycle walk instead of whole envelopes.
+//!
+//! Under [`SimConfig::sharded_merge`] the two passes run **per shard**
+//! over the per-destination-range queues (each shard counts, prefix-sums
+//! from its queue-length base, and scatters its own contiguous arena
+//! slice), so with the `parallel` feature the whole merge→delivery
+//! pipeline — not just the scatter — fans out over
+//! [`crate::pool`]. The arena rides on the fused pipeline's license:
+//! it activates only when the adversary declares
+//! [`Adversary::observes_traffic`]` == false` and the counting sort is
+//! selected; an observing adversary (or the reference oracle) silently
+//! pins the legacy per-node layout and the flat merge, so the
+//! [`FullInfoView::honest_outgoing`] slice is always intact whenever
+//! someone can look at it. Transcripts are bit-identical across the full
+//! layout × merge × pool-size matrix (`tests/determinism_parallel.rs`),
+//! and the steady state stays allocation-free (`tests/zero_alloc.rs`).
 
 use bcount_graph::{Graph, NodeId};
 use rand::{Rng, SeedableRng};
@@ -81,7 +121,7 @@ use rand_chacha::ChaCha8Rng;
 
 use crate::adversary::{Adversary, ByzantineContext, FullInfoView};
 use crate::idspace::{assign_pids, Pid, PidIndex, SenderRanks};
-use crate::message::{DeliveryMap, Envelope, MessageSize};
+use crate::message::{DeliveryMap, Envelope, Inbox, InboxArena, InboxesView, MessageSize};
 use crate::metrics::Metrics;
 use crate::protocol::{NodeContext, Protocol};
 
@@ -160,6 +200,26 @@ pub enum DeliveryMode {
     ReferenceSort,
 }
 
+/// Physical storage layout of the delivered-message plane.
+///
+/// Both layouts expose identical [`Inbox`] views and produce bit-identical
+/// transcripts; the switch selects where the bytes live and how delivery
+/// places them. The arena additionally requires the fused pipeline's
+/// license (a non-observing adversary and the counting sort) — when the
+/// flat pipeline is pinned, the engine silently falls back to the per-node
+/// layout, which remains the property-tested oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InboxLayout {
+    /// One contiguous structure-of-arrays arena per buffer generation,
+    /// filled by the two-pass count/prefix-sum merge (the default; see
+    /// the [module docs](self)).
+    #[default]
+    Arena,
+    /// Per-node `Vec<Envelope>` buffers filled by push + counting sort —
+    /// the pre-arena layout, kept as the equivalence oracle.
+    PerNode,
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimConfig {
@@ -195,6 +255,11 @@ pub struct SimConfig {
     pub fused_merge: bool,
     /// Inbox ordering implementation; see [`DeliveryMode`].
     pub delivery: DeliveryMode,
+    /// Physical message-plane layout; see [`InboxLayout`]. The arena is
+    /// auto-selected only under the fused pipeline's license (like
+    /// [`SimConfig::fused_merge`], observation pins the legacy flat
+    /// path); transcripts are bit-identical either way.
+    pub layout: InboxLayout,
 }
 
 impl Default for SimConfig {
@@ -209,6 +274,7 @@ impl Default for SimConfig {
             sharded_merge: false,
             fused_merge: true,
             delivery: DeliveryMode::CountingSort,
+            layout: InboxLayout::Arena,
         }
     }
 }
@@ -277,11 +343,62 @@ pub struct Simulation<'g, P: Protocol, A> {
     protocols: Vec<Option<P>>,
     rngs: Vec<ChaCha8Rng>,
     adversary_rng: ChaCha8Rng,
-    /// Live inboxes: what each node received at the end of last round.
+    /// Live inboxes: what each node received at the end of last round
+    /// (legacy per-node layout; empty under the arena layout).
     inboxes: Vec<Vec<Envelope<P::Message>>>,
     /// Delivery staging for the round in flight; swapped with `inboxes`
     /// each round instead of being reallocated.
     staged: Vec<Vec<Envelope<P::Message>>>,
+    /// Live SoA message arena (arena layout; empty under the legacy
+    /// layout). Double-buffered with `arena_staged`, swapped each round.
+    arena: InboxArena<P::Message>,
+    /// Arena staging for the round in flight.
+    arena_staged: InboxArena<P::Message>,
+    /// Per-destination message tallies of a two-pass round — the count
+    /// pass's output, consumed (as write cursors) by the prefix-sum
+    /// placement and scatter, then re-zeroed. Arena layout only.
+    dest_counts: Vec<u32>,
+    /// Arena start position of each shard's contiguous slice (prefix over
+    /// shard-queue lengths; `num_shards + 1` entries). Sharded arena only.
+    shard_bases: Vec<u32>,
+    /// The static per-node arena offsets, precomputed once per execution
+    /// as the prefix sums of the [`DeliveryMap`] in-degrees — the fast
+    /// path's exact-capacity placement (a monotone-slot round delivers at
+    /// most in-degree messages per node). Arena layout only.
+    deg_offsets: Vec<u32>,
+    /// Per-node count of incident edges whose other endpoint is Byzantine
+    /// (with multiplicity) — the fast path's bound on how much Byzantine
+    /// traffic a degree-presized span can still absorb.
+    byz_in_degree: Vec<u32>,
+    /// The slots [`NodeContext::broadcast`] selects for each node (first
+    /// slot of every distinct neighbour), flattened;
+    /// `bcast_bases[u]..bcast_bases[u + 1]` spans node `u`'s. Arena only.
+    bcast_slots: Vec<u32>,
+    /// Per-node spans into `bcast_slots`/`bcast_pos`, length `n + 1`.
+    bcast_bases: Vec<u32>,
+    /// The final arena position of every broadcast-pattern message on a
+    /// **broadcast round** (every node broadcasting once — the steady
+    /// state of flooding protocols): precomputed once per execution by a
+    /// pid-order dry run of the scatter, aligned with `bcast_slots`.
+    /// Arena only.
+    bcast_pos: Vec<u32>,
+    /// Per-node inbox length of a broadcast round (distinct in-degree).
+    /// Arena only.
+    bcast_lens: Vec<u32>,
+    /// The sender plane of a broadcast round — the authenticated [`Pid`]
+    /// at every broadcast-round arena position. Copied into an arena once
+    /// and then invariant across consecutive broadcast rounds. Arena
+    /// only.
+    static_senders: Vec<Pid>,
+    /// Whether this round's honest outboxes are *exactly* the broadcast
+    /// pattern, every node included (set by the merge's scan) — the
+    /// precondition of the table-driven scatter.
+    arena_bcast_round: bool,
+    /// Whether this round's honest outboxes all have strictly increasing
+    /// slot sequences (set by the merge's scan): at most one message per
+    /// directed edge, so the degree-presized spans are known to fit and
+    /// the count/prefix passes can be skipped.
+    arena_fast_round: bool,
     /// Per-node outgoing scratch lent to [`NodeContext`] each round;
     /// entries are (neighbour slot, message).
     outboxes: Vec<Vec<(u32, P::Message)>>,
@@ -309,6 +426,11 @@ pub struct Simulation<'g, P: Protocol, A> {
     /// [`SimConfig::fused_merge`], the delivery mode, and the adversary's
     /// [`Adversary::observes_traffic`] declaration).
     fused: bool,
+    /// Whether the SoA arena message plane is active for this execution
+    /// (resolved once at construction: [`InboxLayout::Arena`] requested
+    /// *and* the fused pipeline licensed). Mutually exclusive with
+    /// `fused` — the arena subsumes the fused scatter.
+    arena_active: bool,
     /// Honest messages merged this round — tracked explicitly because the
     /// fused pipeline never materializes them as a flat vector.
     round_honest_messages: u64,
@@ -323,6 +445,9 @@ pub struct Simulation<'g, P: Protocol, A> {
     /// Only these inboxes need rank tags and a counting sort under the
     /// identity-ordered fused merge.
     byz_adjacent: Vec<bool>,
+    /// The indices where `byz_adjacent` holds, so the per-round sort loop
+    /// walks only the nodes that need sorting.
+    byz_adjacent_nodes: Vec<u32>,
     decided_round: Vec<Option<u64>>,
     halted: Vec<bool>,
     metrics: Metrics,
@@ -399,10 +524,14 @@ where
         let sender_counts = vec![0; sender_ranks.total()];
         // Fusion is licensed by the adversary (it gives up the flat
         // honest-traffic view) and only implemented for the counting sort;
-        // observation or the reference oracle force the flat pipeline.
-        let fused = config.fused_merge
+        // observation or the reference oracle force the flat pipeline. The
+        // arena layout rides on the same license (it, too, never
+        // materializes the flat vector) and subsumes the fused scatter.
+        let licensed = config.fused_merge
             && config.delivery == DeliveryMode::CountingSort
             && !adversary.observes_traffic();
+        let arena_active = licensed && config.layout == InboxLayout::Arena;
+        let fused = licensed && !arena_active;
         let pid_order: Vec<u32> = pid_index.nodes_by_pid().map(|node| node.0).collect();
         let byz_adjacent: Vec<bool> = (0..n)
             .map(|v| {
@@ -411,6 +540,100 @@ where
                     .any(|w| is_byzantine[w.index()])
             })
             .collect();
+        let byz_adjacent_nodes: Vec<u32> = (0..n)
+            .filter(|&v| byz_adjacent[v])
+            .map(|v| v as u32)
+            .collect();
+        // Degree-indexed pre-sizing: a node receives (and sends) at most
+        // one message per adjacent edge in the ubiquitous
+        // broadcast-per-round workloads, so `degree` capacity skips every
+        // warm-up growth check on those paths; heavier protocols still
+        // grow amortized. The per-node buffers are only presized when the
+        // legacy layout can actually run (the arena keeps them empty).
+        let degree = |v: usize| graph.degree(NodeId(v as u32));
+        let per_node_cap = |v: usize| if arena_active { 0 } else { degree(v) };
+        let shard_cap = |s: usize| {
+            if config.sharded_merge {
+                (shard_start(s, n, num_shards)..shard_start(s + 1, n, num_shards))
+                    .map(degree)
+                    .sum()
+            } else {
+                0
+            }
+        };
+        let slot_total = graph.degree_sum();
+        let arena_cap = if arena_active { slot_total } else { 0 };
+        let flat_cap = if licensed { 0 } else { slot_total };
+        // The fast path's static placement: node v's span starts at the
+        // prefix sum of in-degrees (undirected: degree) before it.
+        let deg_offsets: Vec<u32> = if arena_active {
+            let mut running = 0u32;
+            (0..n)
+                .map(|v| {
+                    let start = running;
+                    running += degree(v) as u32;
+                    start
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let byz_in_degree: Vec<u32> = if arena_active {
+            (0..n)
+                .map(|v| {
+                    graph
+                        .neighbors(NodeId(v as u32))
+                        .filter(|w| is_byzantine[w.index()])
+                        .count() as u32
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        // The broadcast-round placement tables: the slots `broadcast`
+        // picks per node (first slot of each distinct neighbour), and a
+        // pid-order dry run of the scatter assigning each such message
+        // its final arena position (and sender), once per execution.
+        let (bcast_slots, bcast_bases) = if arena_active {
+            let mut slots = Vec::new();
+            let mut bases = Vec::with_capacity(n + 1);
+            bases.push(0u32);
+            for pids_of_u in &neighbor_pids {
+                let mut last = None;
+                for (s, &pid) in pids_of_u.iter().enumerate() {
+                    if last != Some(pid) {
+                        slots.push(s as u32);
+                        last = Some(pid);
+                    }
+                }
+                bases.push(slots.len() as u32);
+            }
+            (slots, bases)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let (bcast_pos, bcast_lens, static_senders) = if arena_active {
+            let mut cursor = deg_offsets.clone();
+            let mut pos_table = vec![0u32; bcast_slots.len()];
+            let mut slot_senders = vec![Pid(0); slot_total];
+            for node in pid_index.nodes_by_pid() {
+                let u = node.index();
+                let targets = delivery_map.targets_of(u);
+                let base = bcast_bases[u] as usize;
+                let end = bcast_bases[u + 1] as usize;
+                for (i, &slot) in bcast_slots[base..end].iter().enumerate() {
+                    let v = targets[slot as usize].to.index();
+                    let pos = cursor[v];
+                    cursor[v] += 1;
+                    pos_table[base + i] = pos;
+                    slot_senders[pos as usize] = pids[u];
+                }
+            }
+            let lens: Vec<u32> = (0..n).map(|v| cursor[v] - deg_offsets[v]).collect();
+            (pos_table, lens, slot_senders)
+        } else {
+            (Vec::new(), Vec::new(), Vec::new())
+        };
         Simulation {
             graph,
             config,
@@ -424,21 +647,54 @@ where
             protocols,
             rngs,
             adversary_rng,
-            inboxes: (0..n).map(|_| Vec::new()).collect(),
-            staged: (0..n).map(|_| Vec::new()).collect(),
-            outboxes: (0..n).map(|_| Vec::new()).collect(),
-            honest_outgoing: Vec::new(),
-            honest_ranks: Vec::new(),
+            inboxes: (0..n)
+                .map(|v| Vec::with_capacity(per_node_cap(v)))
+                .collect(),
+            staged: (0..n)
+                .map(|v| Vec::with_capacity(per_node_cap(v)))
+                .collect(),
+            outboxes: (0..n).map(|v| Vec::with_capacity(degree(v))).collect(),
+            arena: InboxArena::new(n, &deg_offsets, arena_cap),
+            arena_staged: InboxArena::new(n, &deg_offsets, arena_cap),
+            dest_counts: vec![0; if arena_active { n } else { 0 }],
+            shard_bases: vec![0; num_shards + 1],
+            deg_offsets,
+            byz_in_degree,
+            bcast_slots,
+            bcast_bases,
+            bcast_pos,
+            bcast_lens,
+            static_senders,
+            arena_fast_round: false,
+            arena_bcast_round: false,
+            honest_outgoing: Vec::with_capacity(flat_cap),
+            honest_ranks: Vec::with_capacity(flat_cap),
             byz_outgoing: Vec::new(),
             byz_ranks: Vec::new(),
-            shard_queues: (0..num_shards).map(|_| Vec::new()).collect(),
-            inbox_ranks: (0..n).map(|_| Vec::new()).collect(),
-            inbox_pos: (0..n).map(|_| Vec::new()).collect(),
+            shard_queues: (0..num_shards)
+                .map(|s| Vec::with_capacity(shard_cap(s)))
+                .collect(),
+            inbox_ranks: (0..n)
+                .map(|v| Vec::with_capacity(per_node_cap(v)))
+                .collect(),
+            inbox_pos: (0..n)
+                .map(|v| {
+                    // Sort scratch: under the licensed pipelines only
+                    // Byzantine-adjacent inboxes ever sort.
+                    if !licensed || byz_adjacent[v] {
+                        Vec::with_capacity(degree(v))
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect(),
             sender_counts,
             fused,
+            arena_active,
             round_honest_messages: 0,
             pid_order,
             byz_adjacent,
+            byz_adjacent_nodes,
             decided_round: vec![None; n],
             halted: vec![false; n],
             metrics: Metrics::new(n),
@@ -467,11 +723,22 @@ where
         self.deliver();
     }
 
-    /// Dispatches the deterministic merge: the fused scatter (direct to
-    /// staged inboxes, or to shard queues) when the adversary licensed it,
-    /// else the flat node-order merge into `honest_outgoing`.
+    /// Dispatches the deterministic merge: the arena count pass (or shard
+    /// partition) when the SoA arena is active, the fused scatter (direct
+    /// to staged inboxes, or to shard queues) when the adversary licensed
+    /// fusion on the legacy layout, else the flat node-order merge into
+    /// `honest_outgoing`.
     fn merge_phase(&mut self) {
-        if self.fused {
+        if self.arena_active {
+            if self.config.sharded_merge {
+                // The shard partition doubles as the arena's count pass:
+                // queue lengths are the per-shard totals, and each shard
+                // counts its own queue per destination at delivery time.
+                self.merge_fused_sharded();
+            } else {
+                self.merge_arena_count();
+            }
+        } else if self.fused {
             if self.config.sharded_merge {
                 self.merge_fused_sharded();
             } else {
@@ -496,6 +763,11 @@ where
     }
 
     fn honest_phase_serial(&mut self) {
+        let inboxes = if self.arena_active {
+            InboxesView::Arena(&self.arena)
+        } else {
+            InboxesView::PerNode(&self.inboxes)
+        };
         for u in 0..self.graph.len() {
             if self.is_byzantine[u] || self.halted[u] {
                 continue;
@@ -506,7 +778,7 @@ where
                 proto,
                 self.pids[u],
                 &self.neighbor_pids[u],
-                &self.inboxes[u],
+                inboxes.inbox(u),
                 &mut self.rngs[u],
                 &mut self.outboxes[u],
                 &mut self.decided_round[u],
@@ -526,7 +798,11 @@ where
             round: self.round,
             pids: &self.pids,
             neighbor_pids: &self.neighbor_pids,
-            inboxes: &self.inboxes,
+            inboxes: if self.arena_active {
+                InboxesView::Arena(&self.arena)
+            } else {
+                InboxesView::PerNode(&self.inboxes)
+            },
             is_byzantine: &self.is_byzantine,
         };
         let lane = PhaseLane {
@@ -660,6 +936,440 @@ where
         self.round_honest_messages = sent;
     }
 
+    /// Arena merge: records per-node metrics and scans every outbox's slot
+    /// sequence for strict monotonicity. A monotone round sends at most
+    /// one message per directed edge, so every destination fits its
+    /// **degree-presized** span and the fast path can place messages with
+    /// the static [`Simulation::deg_offsets`] — no counting, no prefix
+    /// sum. A non-monotone round (several sends through one slot) falls
+    /// back to the exact two-pass merge: the count pass runs here.
+    /// Outboxes are left full either way — the scatter drains them at
+    /// delivery time, after the adversary has committed.
+    fn merge_arena_count(&mut self) {
+        let id_bits = self.config.id_bits;
+        let mut sent = 0u64;
+        let mut monotone = true;
+        let mut bcast = true;
+        for u in 0..self.graph.len() {
+            let outbox = &self.outboxes[u];
+            let expected =
+                &self.bcast_slots[self.bcast_bases[u] as usize..self.bcast_bases[u + 1] as usize];
+            if outbox.is_empty() {
+                // A silent node breaks the everyone-broadcasts pattern
+                // (unless it has no neighbours to reach).
+                bcast &= expected.is_empty();
+                continue;
+            }
+            bcast &= outbox.len() == expected.len();
+            let count = outbox.len() as u64;
+            let mut bits = 0u64;
+            let mut max_bits = 0u64;
+            let mut last_slot = u32::MAX;
+            for (i, &(slot, ref msg)) in outbox.iter().enumerate() {
+                monotone &= last_slot == u32::MAX || slot > last_slot;
+                last_slot = slot;
+                if bcast {
+                    bcast = expected[i] == slot;
+                }
+                let size = msg.size_bits(id_bits);
+                bits += size;
+                max_bits = max_bits.max(size);
+            }
+            self.metrics.per_node[u].record_batch(count, bits, max_bits);
+            sent += count;
+        }
+        self.round_honest_messages = sent;
+        self.arena_fast_round = monotone;
+        self.arena_bcast_round = bcast;
+        debug_assert!(monotone || !bcast, "the broadcast pattern is monotone");
+        if !monotone {
+            self.count_dests();
+        }
+    }
+
+    /// The two-pass merge's count pass: tallies this round's honest
+    /// messages per destination (one [`DeliveryMap`] load and one counter
+    /// bump per message). Runs only when a round's shape exceeds the
+    /// degree-presized bound.
+    fn count_dests(&mut self) {
+        for u in 0..self.graph.len() {
+            let outbox = &self.outboxes[u];
+            if outbox.is_empty() {
+                continue;
+            }
+            let targets = self.delivery_map.targets_of(u);
+            for &(slot, _) in outbox.iter() {
+                self.dest_counts[targets[slot as usize].to.index()] += 1;
+            }
+        }
+    }
+
+    /// Whether this round's Byzantine traffic fits the degree-presized
+    /// spans: at most `byz_in_degree[v]` messages per destination (one per
+    /// Byzantine-incident edge). Uses `dest_counts` — zero on the fast
+    /// path — as tally scratch and re-zeroes it.
+    fn byz_traffic_fits(&mut self) -> bool {
+        if self.byz_outgoing.is_empty() {
+            return true;
+        }
+        let mut fits = true;
+        for (_, to, _) in &self.byz_outgoing {
+            let v = to.index();
+            self.dest_counts[v] += 1;
+            fits &= self.dest_counts[v] <= self.byz_in_degree[v];
+        }
+        for (_, to, _) in &self.byz_outgoing {
+            self.dest_counts[to.index()] = 0;
+        }
+        fits
+    }
+
+    /// Arena delivery, unsharded. The fast path (monotone round, fitting
+    /// Byzantine traffic) places messages directly through the static
+    /// degree-prefix offsets; otherwise the exact two-pass pipeline runs:
+    /// Byzantine tallies join the count, one prefix-sum scan turns the
+    /// tallies into packed spans + write cursors, and the scatter is the
+    /// same. Either way every message is written once, into its final
+    /// position in the parallel sender/payload/rank arrays, and only
+    /// Byzantine-adjacent spans need the counting sort — everything else
+    /// is final as scattered (same argument as the fused pipeline's).
+    fn deliver_arena(&mut self) {
+        if self.arena_fast_round {
+            // A **broadcast** round — every node broadcasting exactly
+            // once, the steady state of flooding protocols — scatters
+            // through the precomputed position table: one sequential
+            // table load and one payload write per message, sender plane
+            // and span lengths invariant from the previous broadcast
+            // round. Byzantine nodes never fill their outboxes, so their
+            // existence (let alone their traffic) makes a round
+            // non-broadcast automatically.
+            if self.arena_bcast_round && self.byz_outgoing.is_empty() {
+                self.deliver_arena_broadcast();
+                return;
+            }
+            if self.byz_traffic_fits() {
+                self.deliver_arena_fast();
+                return;
+            }
+            // Monotone round, oversized Byzantine burst: the count pass
+            // was skipped at merge time — run it now for the exact path.
+            self.count_dests();
+        }
+        self.deliver_arena_two_pass();
+    }
+
+    /// The broadcast-round arena scatter; see
+    /// [`Simulation::deliver_arena`]. Visitation order is free here —
+    /// every message has a fixed final position — so outboxes drain in
+    /// natural node order (sequential memory) rather than pid order; the
+    /// produced content is exactly the pid-order scatter's, because the
+    /// table was built by a pid-order dry run.
+    fn deliver_arena_broadcast(&mut self) {
+        let slot_total = self.delivery_map.total_slots();
+        if slot_total == 0 {
+            return;
+        }
+        let arena = &mut self.arena_staged;
+        if arena.msgs.len() < slot_total {
+            let filler = self
+                .outboxes
+                .iter()
+                .find_map(|ob| ob.first().map(|(_, m)| m.clone()))
+                .expect("a broadcast round has traffic");
+            arena.grow_to(slot_total, filler);
+        }
+        if !arena.offsets_static {
+            arena.offsets.copy_from_slice(&self.deg_offsets);
+            arena.offsets_static = true;
+        }
+        if !arena.senders_static {
+            arena.senders[..slot_total].copy_from_slice(&self.static_senders);
+            arena.senders_static = true;
+        }
+        if !arena.lens_full {
+            arena.lens.copy_from_slice(&self.bcast_lens);
+            arena.lens_full = true;
+        }
+        for u in 0..self.graph.len() {
+            let outbox = &mut self.outboxes[u];
+            let base = self.bcast_bases[u] as usize;
+            for (i, (_, msg)) in outbox.drain(..).enumerate() {
+                arena.msgs[self.bcast_pos[base + i] as usize] = msg;
+            }
+        }
+        // No Byzantine nodes can exist on a broadcast round, so no span
+        // needs a counting sort: the table *is* the sorted order.
+        debug_assert!(self.byz_adjacent_nodes.is_empty());
+    }
+
+    /// The fast arena delivery: degree-presized spans, no counting, no
+    /// prefix sum. `lens` double as the per-destination write cursors (and
+    /// end up as the per-node inbox lengths).
+    fn deliver_arena_fast(&mut self) {
+        let arena = &mut self.arena_staged;
+        arena.senders_static = false;
+        arena.lens_full = false;
+        if arena.msgs.len() < self.graph.degree_sum() {
+            if let Some(filler) = self
+                .outboxes
+                .iter()
+                .find_map(|ob| ob.first().map(|(_, m)| m.clone()))
+                .or_else(|| self.byz_outgoing.first().map(|(_, _, m)| m.clone()))
+            {
+                arena.grow_to(self.graph.degree_sum(), filler);
+            } else {
+                // A silent round before any traffic existed: nothing to
+                // place, and no filler to grow with.
+                for len in &mut arena.lens {
+                    *len = 0;
+                }
+                return;
+            }
+        }
+        if !arena.offsets_static {
+            // A two-pass round repacked the offsets; restore the static
+            // degree prefix.
+            arena.offsets.copy_from_slice(&self.deg_offsets);
+            arena.offsets_static = true;
+        }
+        for len in &mut arena.lens {
+            *len = 0;
+        }
+        // Scatter honest traffic in increasing-pid order...
+        let no_byz = self.byz_adjacent_nodes.is_empty();
+        for &u in &self.pid_order {
+            let u = u as usize;
+            let outbox = &mut self.outboxes[u];
+            if outbox.is_empty() {
+                continue;
+            }
+            let sender = self.pids[u];
+            let targets = self.delivery_map.targets_of(u);
+            if no_byz {
+                for (slot, msg) in outbox.drain(..) {
+                    let target = targets[slot as usize];
+                    let v = target.to.index();
+                    let len = arena.lens[v];
+                    arena.lens[v] = len + 1;
+                    let pos = (arena.offsets[v] + len) as usize;
+                    arena.senders[pos] = sender;
+                    arena.msgs[pos] = msg;
+                }
+            } else {
+                for (slot, msg) in outbox.drain(..) {
+                    let target = targets[slot as usize];
+                    let v = target.to.index();
+                    let len = arena.lens[v];
+                    arena.lens[v] = len + 1;
+                    let pos = (arena.offsets[v] + len) as usize;
+                    arena.senders[pos] = sender;
+                    arena.msgs[pos] = msg;
+                    if self.byz_adjacent[v] {
+                        arena.ranks[pos] = target.rank;
+                    }
+                }
+            }
+        }
+        // ...then the Byzantine traffic in emission order.
+        for ((from, to, msg), rank) in self.byz_outgoing.drain(..).zip(self.byz_ranks.drain(..)) {
+            let v = to.index();
+            let len = arena.lens[v];
+            arena.lens[v] = len + 1;
+            let pos = (arena.offsets[v] + len) as usize;
+            arena.senders[pos] = self.pids[from.index()];
+            arena.msgs[pos] = msg;
+            arena.ranks[pos] = rank;
+        }
+        self.sort_byz_adjacent_spans();
+    }
+
+    /// Arena delivery, exact two-pass variant — passes 2 and 3 of the
+    /// count/prefix-sum merge, for rounds whose shape exceeds the
+    /// degree-presized bound.
+    fn deliver_arena_two_pass(&mut self) {
+        let n = self.graph.len();
+        for (_, to, _) in &self.byz_outgoing {
+            self.dest_counts[to.index()] += 1;
+        }
+        // Prefix-sum placement: packed spans into the staged arena, and
+        // the tallies become per-destination write cursors.
+        let arena = &mut self.arena_staged;
+        arena.offsets_static = false;
+        arena.senders_static = false;
+        arena.lens_full = false;
+        let mut running = 0u32;
+        for v in 0..n {
+            arena.offsets[v] = running;
+            let c = self.dest_counts[v];
+            arena.lens[v] = c;
+            self.dest_counts[v] = running;
+            running += c;
+        }
+        let total = running as usize;
+        if arena.msgs.len() < total {
+            // High-water growth only (warm-up; within the degree-presized
+            // capacity this does not even reallocate). The filler clone is
+            // a placeholder: every slot below `total` is overwritten by
+            // the scatter before the arena is ever read.
+            let filler = self
+                .outboxes
+                .iter()
+                .find_map(|ob| ob.first().map(|(_, m)| m.clone()))
+                .or_else(|| self.byz_outgoing.first().map(|(_, _, m)| m.clone()))
+                .expect("a positive total implies at least one message in flight");
+            arena.grow_to(total, filler);
+        }
+        // Scatter pass: honest traffic in increasing-pid order...
+        for &u in &self.pid_order {
+            let u = u as usize;
+            let outbox = &mut self.outboxes[u];
+            if outbox.is_empty() {
+                continue;
+            }
+            let sender = self.pids[u];
+            let targets = self.delivery_map.targets_of(u);
+            for (slot, msg) in outbox.drain(..) {
+                let target = targets[slot as usize];
+                let v = target.to.index();
+                let pos = self.dest_counts[v];
+                self.dest_counts[v] = pos + 1;
+                let pos = pos as usize;
+                arena.senders[pos] = sender;
+                arena.msgs[pos] = msg;
+                if self.byz_adjacent[v] {
+                    arena.ranks[pos] = target.rank;
+                }
+            }
+        }
+        // ...then the Byzantine traffic in emission order.
+        for ((from, to, msg), rank) in self.byz_outgoing.drain(..).zip(self.byz_ranks.drain(..)) {
+            let v = to.index();
+            debug_assert!(
+                self.byz_adjacent[v],
+                "edge locality: Byzantine traffic only reaches Byzantine-adjacent inboxes"
+            );
+            let pos = self.dest_counts[v];
+            self.dest_counts[v] = pos + 1;
+            let pos = pos as usize;
+            arena.senders[pos] = self.pids[from.index()];
+            arena.msgs[pos] = msg;
+            arena.ranks[pos] = rank;
+        }
+        // Cursors now sit at the span ends; re-zero them for the next
+        // round.
+        for c in &mut self.dest_counts {
+            *c = 0;
+        }
+        self.sort_byz_adjacent_spans();
+    }
+
+    /// Counting sort of the staged arena where Byzantine traffic can
+    /// interleave — an index-permuting cycle walk over the small parallel
+    /// arrays.
+    fn sort_byz_adjacent_spans(&mut self) {
+        let arena = &mut self.arena_staged;
+        for &v in &self.byz_adjacent_nodes {
+            let v = v as usize;
+            let o0 = arena.offsets[v] as usize;
+            let o1 = o0 + arena.lens[v] as usize;
+            let c0 = self.sender_ranks.offset(v);
+            let c1 = self.sender_ranks.offset(v + 1);
+            finish_inbox_soa(
+                &mut arena.senders[o0..o1],
+                &mut arena.msgs[o0..o1],
+                &arena.ranks[o0..o1],
+                &mut self.inbox_pos[v],
+                &mut self.sender_counts[c0..c1],
+            );
+        }
+    }
+
+    /// Arena delivery, sharded: the fused shard partition already split
+    /// the honest traffic (in pid order) into per-destination-range
+    /// queues; append the Byzantine traffic, fix each shard's contiguous
+    /// arena slice from the queue lengths, and run count → local
+    /// prefix-sum → scatter → sort *per shard* — in parallel when
+    /// configured, through the same [`crate::pool`] splitter as the rest
+    /// of the engine.
+    fn deliver_arena_sharded(&mut self) {
+        let n = self.graph.len();
+        let num_shards = self.shard_queues.len();
+        for ((from, to, msg), rank) in self.byz_outgoing.drain(..).zip(self.byz_ranks.drain(..)) {
+            self.shard_queues[shard_of(to.index(), n, num_shards)].push(Routed {
+                sender: self.pids[from.index()],
+                to,
+                rank,
+                msg,
+            });
+        }
+        // Placement bases: each shard owns the contiguous arena slice
+        // starting at the prefix of the queue lengths before it.
+        let mut running = 0u32;
+        for (s, queue) in self.shard_queues.iter().enumerate() {
+            self.shard_bases[s] = running;
+            running += queue.len() as u32;
+        }
+        self.shard_bases[num_shards] = running;
+        let total = running as usize;
+        let arena = &mut self.arena_staged;
+        arena.offsets_static = false;
+        arena.senders_static = false;
+        arena.lens_full = false;
+        if total == 0 {
+            for len in &mut arena.lens {
+                *len = 0;
+            }
+            for offset in &mut arena.offsets {
+                *offset = 0;
+            }
+            return;
+        }
+        if arena.msgs.len() < total {
+            let filler = self
+                .shard_queues
+                .iter()
+                .find_map(|q| q.first().map(|r| r.msg.clone()))
+                .expect("a positive total implies at least one queued message");
+            arena.grow_to(total, filler);
+        }
+        self.run_arena_lanes();
+    }
+
+    /// Fans the per-shard count/prefix/scatter/sort leaves out over the
+    /// worker pool (serially without the `parallel` feature or flag).
+    fn run_arena_lanes(&mut self) {
+        let n = self.graph.len();
+        let geometry = ArenaGeometry {
+            n,
+            shards: self.shard_queues.len(),
+            senders: &self.sender_ranks,
+            bases: &self.shard_bases,
+            byz_adjacent: &self.byz_adjacent,
+        };
+        let total = self.shard_bases[geometry.shards] as usize;
+        let arena = &mut self.arena_staged;
+        let lane = ArenaLane {
+            first_shard: 0,
+            base_node: 0,
+            queues: &mut self.shard_queues,
+            offsets: &mut arena.offsets[..n],
+            lens: &mut arena.lens[..n],
+            senders: &mut arena.senders[..total],
+            msgs: &mut arena.msgs[..total],
+            ranks: &mut arena.ranks[..total],
+            cursors: &mut self.dest_counts,
+            pos: &mut self.inbox_pos,
+            sort_counts: &mut self.sender_counts,
+        };
+        let parallel = self.config.parallel;
+        crate::pool::for_each_split(
+            lane,
+            parallel,
+            &|lane: ArenaLane<'_, P::Message>| split_arena_lane(geometry, lane),
+            &|lane: ArenaLane<'_, P::Message>| arena_lane_leaf(geometry, lane),
+        );
+    }
+
     /// Rushing adversary phase: the adversary observes the complete honest
     /// states and this round's in-flight honest messages before committing
     /// the Byzantine traffic.
@@ -673,7 +1383,11 @@ where
             is_byzantine: &self.is_byzantine,
             honest_states: &self.protocols,
             honest_outgoing: &self.honest_outgoing,
-            inboxes: &self.inboxes,
+            inboxes: if self.arena_active {
+                InboxesView::Arena(&self.arena)
+            } else {
+                InboxesView::PerNode(&self.inboxes)
+            },
         };
         let mut ctx = ByzantineContext {
             graph: self.graph,
@@ -709,7 +1423,15 @@ where
                 self.byz_ranks.push(rank);
             }
         }
-        if self.fused {
+        if self.arena_active {
+            // The count pass (or shard partition) already ran in the
+            // merge; place, scatter, and sort into the staged arena.
+            if self.config.sharded_merge {
+                self.deliver_arena_sharded();
+            } else {
+                self.deliver_arena();
+            }
+        } else if self.fused {
             // The honest traffic was already scattered by the fused merge;
             // only the Byzantine traffic and the counting sorts remain.
             if self.config.sharded_merge {
@@ -724,7 +1446,11 @@ where
                 DeliveryMode::CountingSort => self.deliver_counting(),
             }
         }
-        std::mem::swap(&mut self.inboxes, &mut self.staged);
+        if self.arena_active {
+            std::mem::swap(&mut self.arena, &mut self.arena_staged);
+        } else {
+            std::mem::swap(&mut self.inboxes, &mut self.staged);
+        }
         self.metrics.rounds = self.round;
         if self.config.record_round_stats {
             let n = self.graph.len();
@@ -931,17 +1657,22 @@ where
     }
 
     /// The messages node `u` received at the end of the last executed
-    /// round, sorted by sender — the same slice the node's
+    /// round, sorted by sender — the same view the node's
     /// [`NodeContext::inbox`] will expose next round. Public for
-    /// instrumentation and equivalence testing.
-    pub fn inbox(&self, u: NodeId) -> &[Envelope<P::Message>] {
-        &self.inboxes[u.index()]
+    /// instrumentation and equivalence testing; [`Inbox`] comparisons are
+    /// by content, so views are comparable across physical layouts.
+    pub fn inbox(&self, u: NodeId) -> Inbox<'_, P::Message> {
+        if self.arena_active {
+            self.arena.inbox(u.index())
+        } else {
+            Inbox::Packed(&self.inboxes[u.index()])
+        }
     }
 
     /// Runs the compute + deterministic-merge half of the next round (the
-    /// configured merge — flat or fused), leaving the merged traffic
-    /// staged (benchmark/instrumentation hook; pair with
-    /// [`Simulation::step`]-equivalent completion or
+    /// configured merge — flat, fused, or the arena count pass), leaving
+    /// the merged traffic staged (benchmark/instrumentation hook; pair
+    /// with [`Simulation::step`]-equivalent completion or
     /// [`Simulation::drop_round_traffic`], never with a bare repeat).
     #[doc(hidden)]
     pub fn bench_compute_merge(&mut self) {
@@ -950,10 +1681,21 @@ where
         self.merge_phase();
     }
 
+    /// Runs the honest compute phase alone (benchmark hook; reset the
+    /// filled outboxes with [`Simulation::drop_round_traffic`] — arena
+    /// pipeline only, which is where outboxes outlive the merge).
+    #[doc(hidden)]
+    pub fn bench_compute_only(&mut self) {
+        debug_assert!(self.arena_active);
+        self.round += 1;
+        self.honest_phase();
+    }
+
     /// Discards the round's merged-but-undelivered traffic — total
     /// omission fault injection, and the reset half of the merge
     /// micro-benchmark. Covers every merge variant: the flat vector, the
-    /// fused-scattered staging, and the shard queues.
+    /// fused-scattered staging, the shard queues, and the arena's counted
+    /// (but not yet scattered) outboxes.
     #[doc(hidden)]
     pub fn drop_round_traffic(&mut self) {
         self.honest_outgoing.clear();
@@ -969,7 +1711,83 @@ where
                 ranks.clear();
             }
         }
+        if self.arena_active && !self.config.sharded_merge {
+            // The count pass left the outboxes full and the tallies
+            // populated; discard both.
+            for outbox in &mut self.outboxes {
+                outbox.clear();
+            }
+            for c in &mut self.dest_counts {
+                *c = 0;
+            }
+        }
         self.round_honest_messages = 0;
+    }
+
+    /// Runs compute + the *two-pass* merge's count pass, whatever the
+    /// round's shape (benchmark hook for `engine_phases/count_pass`; the
+    /// production fast path would skip the count on monotone rounds).
+    /// Reset with [`Simulation::drop_round_traffic`].
+    #[doc(hidden)]
+    pub fn bench_count_pass(&mut self) {
+        debug_assert!(self.arena_active && !self.config.sharded_merge);
+        self.bench_compute_merge();
+        if self.arena_fast_round {
+            self.count_dests();
+        }
+    }
+
+    /// Clones the per-destination tallies of the staged round, forcing
+    /// the count pass if the fast path skipped it (benchmark hook; call
+    /// after [`Simulation::bench_compute_merge`], reset afterwards).
+    /// Requires the unsharded arena pipeline.
+    #[doc(hidden)]
+    pub fn bench_snapshot_counts(&mut self) -> Vec<u32> {
+        debug_assert!(
+            self.arena_active && !self.config.sharded_merge,
+            "count tallies exist only on the unsharded arena pipeline"
+        );
+        if self.arena_fast_round {
+            self.count_dests();
+        }
+        let counts = self.dest_counts.clone();
+        for c in &mut self.dest_counts {
+            *c = 0;
+        }
+        counts
+    }
+
+    /// Runs the prefix-sum placement alone from a counts snapshot: loads
+    /// the tallies and turns them into staged-arena spans (the
+    /// `engine_phases/placement` micro-benchmark). Leaves the cursors
+    /// untouched, so it is repeatable.
+    #[doc(hidden)]
+    pub fn bench_arena_placement(&mut self, counts: &[u32]) {
+        debug_assert!(self.arena_active && !self.config.sharded_merge);
+        let n = self.graph.len();
+        debug_assert_eq!(counts.len(), n);
+        let arena = &mut self.arena_staged;
+        arena.offsets_static = false;
+        let mut running = 0u32;
+        for ((offset, len), &count) in arena
+            .offsets
+            .iter_mut()
+            .zip(arena.lens.iter_mut())
+            .zip(counts)
+        {
+            *offset = running;
+            *len = count;
+            running += count;
+        }
+    }
+
+    /// Completes a round started with [`Simulation::bench_compute_merge`]
+    /// through delivery (no adversary phase; Byzantine staging must be
+    /// empty) — the other half of the phase micro-benchmarks.
+    #[doc(hidden)]
+    pub fn bench_deliver_staged(&mut self) {
+        debug_assert!(self.byz_outgoing.is_empty());
+        self.deliver();
     }
 
     /// Clones the currently merged honest traffic (benchmark hook).
@@ -1125,6 +1943,219 @@ fn finish_inbox<M>(
     }
 }
 
+/// Stable in-place counting sort of one arena span by precomputed sender
+/// rank — [`finish_inbox`]'s structure-of-arrays twin. The permutation is
+/// computed over the small `ranks`/`pos` index arrays and applied by
+/// cycle-walking the parallel `senders`/`msgs` slices, so no whole
+/// envelope is ever moved. `ranks` is read-only (keys in staging order);
+/// `counts` must arrive zeroed and is re-zeroed before returning.
+fn finish_inbox_soa<M>(
+    senders: &mut [Pid],
+    msgs: &mut [M],
+    ranks: &[u32],
+    pos: &mut Vec<u32>,
+    counts: &mut [u32],
+) {
+    let k = senders.len();
+    debug_assert_eq!(msgs.len(), k);
+    debug_assert_eq!(ranks.len(), k);
+    if k <= 1 {
+        return;
+    }
+    debug_assert!(counts.iter().all(|&c| c == 0));
+    for &r in ranks {
+        counts[r as usize] += 1;
+    }
+    let mut sum = 0u32;
+    for c in counts.iter_mut() {
+        let start = sum;
+        sum += *c;
+        *c = start;
+    }
+    pos.clear();
+    for &r in ranks {
+        pos.push(counts[r as usize]);
+        counts[r as usize] += 1;
+    }
+    for c in counts.iter_mut() {
+        *c = 0;
+    }
+    for i in 0..k {
+        while pos[i] as usize != i {
+            let j = pos[i] as usize;
+            senders.swap(i, j);
+            msgs.swap(i, j);
+            pos.swap(i, j);
+        }
+    }
+}
+
+/// Read-only geometry shared by every arena delivery lane.
+#[derive(Clone, Copy)]
+struct ArenaGeometry<'a> {
+    n: usize,
+    shards: usize,
+    senders: &'a SenderRanks,
+    /// Arena start of each shard's contiguous slice (`shards + 1`
+    /// entries; prefix over the shard-queue lengths).
+    bases: &'a [u32],
+    byz_adjacent: &'a [bool],
+}
+
+/// The contiguous span of shards one arena delivery worker owns: its
+/// queues, its destination range's offset/cursor/scratch slices, and its
+/// slice of the arena's parallel message arrays.
+struct ArenaLane<'a, M> {
+    first_shard: usize,
+    base_node: usize,
+    queues: &'a mut [Vec<Routed<M>>],
+    /// Per-node span starts for `base_node..base_node + offsets.len()`.
+    offsets: &'a mut [u32],
+    /// Per-node span lengths, aligned with `offsets`.
+    lens: &'a mut [u32],
+    senders: &'a mut [Pid],
+    msgs: &'a mut [M],
+    ranks: &'a mut [u32],
+    cursors: &'a mut [u32],
+    pos: &'a mut [Vec<u32>],
+    sort_counts: &'a mut [u32],
+}
+
+/// Halves an arena lane along its shard span (queues at the shard
+/// boundary, node-indexed slices at the destination-range boundary, and
+/// the message arrays at the shard-base boundary), or declares it a leaf
+/// when it covers a single shard.
+fn split_arena_lane<'a, M>(
+    geometry: ArenaGeometry<'_>,
+    lane: ArenaLane<'a, M>,
+) -> crate::pool::Split<ArenaLane<'a, M>> {
+    if lane.queues.len() <= 1 {
+        return crate::pool::Split::Leaf(lane);
+    }
+    let mid = lane.queues.len() / 2;
+    let split_shard = lane.first_shard + mid;
+    let split_node = shard_start(split_shard, geometry.n, geometry.shards);
+    let node_mid = split_node - lane.base_node;
+    let msg_mid = (geometry.bases[split_shard] - geometry.bases[lane.first_shard]) as usize;
+    let count_mid = geometry.senders.offset(split_node) - geometry.senders.offset(lane.base_node);
+    let (queue_l, queue_r) = lane.queues.split_at_mut(mid);
+    let (off_l, off_r) = lane.offsets.split_at_mut(node_mid);
+    let (len_l, len_r) = lane.lens.split_at_mut(node_mid);
+    let (send_l, send_r) = lane.senders.split_at_mut(msg_mid);
+    let (msg_l, msg_r) = lane.msgs.split_at_mut(msg_mid);
+    let (rank_l, rank_r) = lane.ranks.split_at_mut(msg_mid);
+    let (cur_l, cur_r) = lane.cursors.split_at_mut(node_mid);
+    let (pos_l, pos_r) = lane.pos.split_at_mut(node_mid);
+    let (sc_l, sc_r) = lane.sort_counts.split_at_mut(count_mid);
+    let left = ArenaLane {
+        first_shard: lane.first_shard,
+        base_node: lane.base_node,
+        queues: queue_l,
+        offsets: off_l,
+        lens: len_l,
+        senders: send_l,
+        msgs: msg_l,
+        ranks: rank_l,
+        cursors: cur_l,
+        pos: pos_l,
+        sort_counts: sc_l,
+    };
+    let right = ArenaLane {
+        first_shard: split_shard,
+        base_node: split_node,
+        queues: queue_r,
+        offsets: off_r,
+        lens: len_r,
+        senders: send_r,
+        msgs: msg_r,
+        ranks: rank_r,
+        cursors: cur_r,
+        pos: pos_r,
+        sort_counts: sc_r,
+    };
+    crate::pool::Split::Fork(left, right)
+}
+
+/// One shard's arena delivery: count its queue per destination, prefix-sum
+/// from the shard's arena base into exact spans + cursors, scatter every
+/// queued message once into its final position in the parallel arrays, and
+/// counting-sort the Byzantine-adjacent spans. The queue arrives in merged
+/// order (pid-ordered honest traffic, then Byzantine emission order), so
+/// the stability argument is the unsharded path's.
+fn arena_lane_leaf<M>(geometry: ArenaGeometry<'_>, lane: ArenaLane<'_, M>) {
+    let ArenaLane {
+        first_shard,
+        base_node,
+        queues,
+        offsets,
+        lens,
+        senders,
+        msgs,
+        ranks,
+        cursors,
+        pos,
+        sort_counts,
+    } = lane;
+    let base_msg = geometry.bases[first_shard];
+    let end_msg = geometry.bases[first_shard + 1];
+    let queue = &mut queues[0];
+    debug_assert_eq!(queue.len() as u32, end_msg - base_msg);
+    // Count pass over this shard's queue.
+    for routed in queue.iter() {
+        cursors[routed.to.index() - base_node] += 1;
+    }
+    // Local prefix-sum placement from the shard's arena base.
+    let mut running = base_msg;
+    for ((offset, len), cursor) in offsets
+        .iter_mut()
+        .zip(lens.iter_mut())
+        .zip(cursors.iter_mut())
+    {
+        *offset = running;
+        let c = *cursor;
+        *len = c;
+        *cursor = running;
+        running += c;
+    }
+    debug_assert_eq!(running, end_msg);
+    // Scatter into final arena positions.
+    for routed in queue.drain(..) {
+        let v = routed.to.index();
+        let i = v - base_node;
+        let at = cursors[i];
+        cursors[i] = at + 1;
+        let local = (at - base_msg) as usize;
+        senders[local] = routed.sender;
+        msgs[local] = routed.msg;
+        if geometry.byz_adjacent[v] {
+            ranks[local] = routed.rank;
+        }
+    }
+    // Re-zero the cursors for the next round's count.
+    for c in cursors.iter_mut() {
+        *c = 0;
+    }
+    // Counting sort where Byzantine traffic can interleave.
+    let base_count = geometry.senders.offset(base_node);
+    for i in 0..offsets.len() {
+        let v = base_node + i;
+        if !geometry.byz_adjacent[v] {
+            continue;
+        }
+        let o0 = (offsets[i] - base_msg) as usize;
+        let o1 = o0 + lens[i] as usize;
+        let c0 = geometry.senders.offset(v) - base_count;
+        let c1 = geometry.senders.offset(v + 1) - base_count;
+        finish_inbox_soa(
+            &mut senders[o0..o1],
+            &mut msgs[o0..o1],
+            &ranks[o0..o1],
+            &mut pos[i],
+            &mut sort_counts[c0..c1],
+        );
+    }
+}
+
 /// Read-only geometry shared by every delivery lane.
 #[derive(Clone, Copy)]
 struct ShardGeometry<'a> {
@@ -1270,7 +2301,7 @@ fn drive_node<P: Protocol>(
     proto: &mut P,
     me: Pid,
     neighbors: &[Pid],
-    inbox: &[Envelope<P::Message>],
+    inbox: Inbox<'_, P::Message>,
     rng: &mut ChaCha8Rng,
     outbox: &mut Vec<(u32, P::Message)>,
     decided_round: &mut Option<u64>,
@@ -1298,7 +2329,7 @@ struct PhaseInputs<'a, P: Protocol> {
     round: u64,
     pids: &'a [Pid],
     neighbor_pids: &'a [Vec<Pid>],
-    inboxes: &'a [Vec<Envelope<P::Message>>],
+    inboxes: InboxesView<'a, P::Message>,
     is_byzantine: &'a [bool],
 }
 
@@ -1394,7 +2425,7 @@ where
             proto,
             shared.pids[u],
             &shared.neighbor_pids[u],
-            &shared.inboxes[u],
+            shared.inboxes.inbox(u),
             &mut lane.rngs[i],
             &mut lane.outboxes[i],
             &mut lane.decided_round[i],
@@ -1785,13 +2816,23 @@ mod tests {
     fn inboxes_are_sorted_by_sender() {
         // Structural property relied upon for determinism: after round 1
         // (in which every node broadcasts unconditionally), the middle of
-        // a 3-path heard both ends, in sorted order — whatever the seed.
-        let g = path(3).unwrap();
-        let mut sim = flood_sim(&g, &[], SimConfig::default());
-        sim.step();
-        let inbox = &sim.inboxes[1];
-        assert_eq!(inbox.len(), 2);
-        assert!(inbox[0].sender <= inbox[1].sender);
+        // a 3-path heard both ends, in sorted order — whatever the seed
+        // and whichever physical layout holds the bytes.
+        for layout in [InboxLayout::Arena, InboxLayout::PerNode] {
+            let g = path(3).unwrap();
+            let mut sim = flood_sim(
+                &g,
+                &[],
+                SimConfig {
+                    layout,
+                    ..SimConfig::default()
+                },
+            );
+            sim.step();
+            let inbox = sim.inbox(NodeId(1));
+            assert_eq!(inbox.len(), 2, "{layout:?}");
+            assert!(inbox.get(0).sender <= inbox.get(1).sender, "{layout:?}");
+        }
     }
 
     #[test]
@@ -1807,6 +2848,7 @@ mod tests {
                 max_rounds: 1_000,
                 stop_when: StopWhen::MaxRoundsOnly,
                 sharded_merge: sharded,
+                layout: InboxLayout::PerNode,
                 ..SimConfig::default()
             };
             let mut sim = flood_sim(&g, &[], cfg);
@@ -1946,7 +2988,7 @@ mod tests {
                 let inbox = sim.inbox(NodeId(u));
                 assert_eq!(inbox.len(), 3);
                 assert_eq!(
-                    inbox.iter().map(|e| e.msg).collect::<Vec<_>>(),
+                    inbox.iter().map(|e| *e.msg).collect::<Vec<_>>(),
                     vec![Pid(100), Pid(200), Pid(300)],
                     "stable delivery keeps send order (sharded={sharded}, {delivery:?})"
                 );
@@ -1969,6 +3011,7 @@ mod tests {
                 sharded_merge: sharded,
                 max_rounds: 25,
                 stop_when: StopWhen::MaxRoundsOnly,
+                layout: InboxLayout::PerNode,
                 ..SimConfig::default()
             };
             let mut fused = flood_sim(&g, &byz, cfg(true));
@@ -1993,10 +3036,163 @@ mod tests {
     }
 
     #[test]
+    fn arena_layout_matches_pernode_per_round() {
+        // The SoA arena (default) against the legacy per-node layout —
+        // fused and flat — must agree byte-for-byte on every inbox every
+        // round and on the final reports, in both the unsharded and
+        // sharded pipelines, with a silent Byzantine node in the mix.
+        let g = cycle(19).unwrap();
+        let byz = [NodeId(6)];
+        for sharded in [false, true] {
+            let cfg = |layout, fused_merge| SimConfig {
+                layout,
+                fused_merge,
+                sharded_merge: sharded,
+                max_rounds: 25,
+                stop_when: StopWhen::MaxRoundsOnly,
+                ..SimConfig::default()
+            };
+            let mut arena = flood_sim(&g, &byz, cfg(InboxLayout::Arena, true));
+            let mut fused = flood_sim(&g, &byz, cfg(InboxLayout::PerNode, true));
+            let mut flat = flood_sim(&g, &byz, cfg(InboxLayout::PerNode, false));
+            assert!(arena.arena_active, "NullAdversary must license the arena");
+            assert!(!arena.fused, "the arena subsumes the fused scatter");
+            assert!(fused.fused && !fused.arena_active);
+            for _ in 0..25 {
+                arena.step();
+                fused.step();
+                flat.step();
+                for u in 0..g.len() {
+                    let u = NodeId(u as u32);
+                    assert_eq!(arena.inbox(u), fused.inbox(u), "sharded={sharded}");
+                    assert_eq!(arena.inbox(u), flat.inbox(u), "sharded={sharded}");
+                }
+            }
+            let (a, b) = (
+                arena.report(StopReason::MaxRounds),
+                flat.report(StopReason::MaxRounds),
+            );
+            assert_eq!(a.metrics, b.metrics, "sharded={sharded}");
+            assert_eq!(a.outputs, b.outputs, "sharded={sharded}");
+        }
+    }
+
+    #[test]
+    fn arena_steady_state_reuses_the_arena() {
+        // The arena's zero-alloc contract, observed structurally: once the
+        // chatter settles, the parallel arrays stop growing — spans are
+        // recomputed, bytes overwritten in place, buffers swapped.
+        let g = cycle(12).unwrap();
+        for sharded in [false, true] {
+            let cfg = SimConfig {
+                max_rounds: 1_000,
+                stop_when: StopWhen::MaxRoundsOnly,
+                sharded_merge: sharded,
+                ..SimConfig::default()
+            };
+            let mut sim = flood_sim(&g, &[NodeId(3)], cfg);
+            assert!(sim.arena_active);
+            for _ in 0..10 {
+                sim.step();
+            }
+            let snapshot = |sim: &Simulation<'_, FloodMax, NullAdversary>| {
+                let arena = |a: &InboxArena<Pid>| {
+                    (
+                        a.offsets.len(),
+                        a.senders.capacity(),
+                        a.msgs.capacity(),
+                        a.ranks.capacity(),
+                        a.msgs.len(), // high-water mark, not per-round
+                    )
+                };
+                (
+                    arena(&sim.arena),
+                    arena(&sim.arena_staged),
+                    sim.outboxes.iter().map(Vec::capacity).collect::<Vec<_>>(),
+                    sim.shard_queues
+                        .iter()
+                        .map(Vec::capacity)
+                        .collect::<Vec<_>>(),
+                    sim.dest_counts.len(),
+                )
+            };
+            let before = snapshot(&sim);
+            for _ in 0..50 {
+                sim.step();
+            }
+            assert_eq!(before, snapshot(&sim), "sharded={sharded}");
+        }
+    }
+
+    #[test]
+    fn arena_handles_multi_sends_beyond_degree_capacity() {
+        // The degree pre-sizing is a capacity hint, not a bound: a
+        // protocol spraying several messages per edge per round must grow
+        // the arena past its slot total and still deliver canonically.
+        struct Spray3;
+        impl Protocol for Spray3 {
+            type Message = Pid;
+            type Output = usize;
+            fn on_round(&mut self, ctx: &mut NodeContext<'_, Pid>) {
+                let me = ctx.my_id();
+                let neighbors: Vec<Pid> = ctx.neighbors().to_vec();
+                let mut last = None;
+                for to in neighbors {
+                    if last == Some(to) {
+                        continue;
+                    }
+                    last = Some(to);
+                    for k in 0..3u64 {
+                        ctx.send(to, Pid(me.0.wrapping_add(k)));
+                    }
+                }
+            }
+            fn output(&self) -> Option<usize> {
+                None
+            }
+        }
+        for sharded in [false, true] {
+            let g = cycle(9).unwrap();
+            let cfg = |layout| SimConfig {
+                max_rounds: 4,
+                stop_when: StopWhen::MaxRoundsOnly,
+                sharded_merge: sharded,
+                layout,
+                ..SimConfig::default()
+            };
+            let mut arena = Simulation::new(
+                &g,
+                &[],
+                |_, _| Spray3,
+                NullAdversary,
+                cfg(InboxLayout::Arena),
+            );
+            let mut legacy = Simulation::new(
+                &g,
+                &[],
+                |_, _| Spray3,
+                NullAdversary,
+                cfg(InboxLayout::PerNode),
+            );
+            for _ in 0..4 {
+                arena.step();
+                legacy.step();
+                for u in 0..g.len() {
+                    let u = NodeId(u as u32);
+                    assert_eq!(arena.inbox(u).len(), 6, "sharded={sharded}");
+                    assert_eq!(arena.inbox(u), legacy.inbox(u), "sharded={sharded}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn observing_adversary_disables_fusion() {
         // MaxFaker keeps the default observes_traffic == true, so even
         // with fused_merge requested the engine must stay on the flat
-        // path (the adversary's view depends on it).
+        // path (the adversary's view depends on it) — and the arena
+        // layout, which also forgoes the flat vector, must fall back to
+        // the per-node oracle layout.
         let g = cycle(8).unwrap();
         let sim = Simulation::new(
             &g,
@@ -2011,6 +3207,10 @@ mod tests {
             SimConfig::default(),
         );
         assert!(!sim.fused, "observation must win over fusion");
+        assert!(
+            !sim.arena_active,
+            "observation must pin the per-node layout"
+        );
         // ReferenceSort also forces the flat pipeline, whatever the flags.
         let sim = flood_sim(
             &g,
@@ -2021,6 +3221,10 @@ mod tests {
             },
         );
         assert!(!sim.fused, "the reference oracle runs the flat pipeline");
+        assert!(
+            !sim.arena_active,
+            "the reference oracle runs the per-node layout"
+        );
     }
 
     #[test]

@@ -67,11 +67,11 @@ pub mod trace;
 
 pub use adversary::{Adversary, ByzantineContext, FullInfoView, NullAdversary};
 pub use engine::{
-    DeliveryMode, NodeInit, PhaseSend, PhaseShared, SimConfig, SimReport, Simulation, StopReason,
-    StopWhen,
+    DeliveryMode, InboxLayout, NodeInit, PhaseSend, PhaseShared, SimConfig, SimReport, Simulation,
+    StopReason, StopWhen,
 };
 pub use idspace::{Pid, PidIndex, SenderRanks};
-pub use message::{DeliveryMap, Envelope, MessageSize, SlotTarget};
+pub use message::{DeliveryMap, Envelope, EnvelopeRef, Inbox, InboxIter, MessageSize, SlotTarget};
 pub use metrics::{Metrics, NodeMetrics};
 pub use protocol::{NodeContext, Protocol};
 pub use trace::{validate_trace, RoundTrace};
@@ -80,11 +80,13 @@ pub use trace::{validate_trace, RoundTrace};
 pub mod prelude {
     pub use crate::adversary::{Adversary, ByzantineContext, FullInfoView, NullAdversary};
     pub use crate::engine::{
-        DeliveryMode, NodeInit, PhaseSend, PhaseShared, SimConfig, SimReport, Simulation,
-        StopReason, StopWhen,
+        DeliveryMode, InboxLayout, NodeInit, PhaseSend, PhaseShared, SimConfig, SimReport,
+        Simulation, StopReason, StopWhen,
     };
     pub use crate::idspace::{Pid, PidIndex, SenderRanks};
-    pub use crate::message::{DeliveryMap, Envelope, MessageSize, SlotTarget};
+    pub use crate::message::{
+        DeliveryMap, Envelope, EnvelopeRef, Inbox, InboxIter, MessageSize, SlotTarget,
+    };
     pub use crate::metrics::{Metrics, NodeMetrics};
     pub use crate::protocol::{NodeContext, Protocol};
     pub use crate::trace::{validate_trace, RoundTrace};

@@ -1,7 +1,9 @@
-//! Message envelopes, size accounting, and the precomputed delivery map.
+//! Message envelopes, size accounting, the flat SoA inbox arena, and the
+//! precomputed delivery map.
 
 use crate::idspace::{Pid, SenderRanks};
 use bcount_graph::{Graph, NodeId};
+use std::fmt;
 
 /// A delivered message with its authenticated sender.
 ///
@@ -44,6 +46,317 @@ impl MessageSize for Pid {
 impl<M: MessageSize> MessageSize for Envelope<M> {
     fn size_bits(&self, id_bits: u32) -> u64 {
         u64::from(id_bits) + self.msg.size_bits(id_bits)
+    }
+}
+
+/// A borrowed view of one delivered message: the authenticated sender and
+/// a reference to the payload. What [`Inbox`] iteration yields — the
+/// by-reference counterpart of [`Envelope`], shared by both physical
+/// message layouts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnvelopeRef<'a, M> {
+    /// Authenticated identity of the sending node.
+    pub sender: Pid,
+    /// The payload.
+    pub msg: &'a M,
+}
+
+/// A borrowed, layout-independent view of one node's inbox (sorted by
+/// sender).
+///
+/// The engine stores delivered messages in one of two physical layouts —
+/// per-node [`Envelope`] buffers (the oracle layout) or one contiguous
+/// structure-of-arrays arena with the sender and payload fields split into
+/// parallel slices ([`crate::engine::InboxLayout::Arena`], the default).
+/// Protocols and adversaries read through this view, so they are agnostic
+/// to the layout switch; both variants expose identical contents in
+/// identical order.
+pub enum Inbox<'a, M> {
+    /// Per-node packed envelopes (the legacy per-node layout).
+    Packed(&'a [Envelope<M>]),
+    /// Arena layout: parallel sender/payload slices of equal length.
+    Split {
+        /// Authenticated sender of each message, aligned with `msgs`.
+        senders: &'a [Pid],
+        /// Payloads, aligned with `senders`.
+        msgs: &'a [M],
+    },
+}
+
+// Manual impls: `derive` would demand `M: Clone`/`M: Copy` although only
+// references are copied.
+impl<M> Clone for Inbox<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<M> Copy for Inbox<'_, M> {}
+
+impl<'a, M> Inbox<'a, M> {
+    /// An empty inbox (of the arena shape; representations compare equal
+    /// by content).
+    pub fn empty() -> Self {
+        Inbox::Split {
+            senders: &[],
+            msgs: &[],
+        }
+    }
+
+    /// Number of messages received.
+    pub fn len(&self) -> usize {
+        match self {
+            Inbox::Packed(envelopes) => envelopes.len(),
+            Inbox::Split { senders, .. } => senders.len(),
+        }
+    }
+
+    /// Whether no message was received.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th message (messages are sorted by sender).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn get(&self, i: usize) -> EnvelopeRef<'a, M> {
+        match *self {
+            Inbox::Packed(envelopes) => EnvelopeRef {
+                sender: envelopes[i].sender,
+                msg: &envelopes[i].msg,
+            },
+            Inbox::Split { senders, msgs } => EnvelopeRef {
+                sender: senders[i],
+                msg: &msgs[i],
+            },
+        }
+    }
+
+    /// Iterates the messages in inbox (sender-sorted) order. Takes the
+    /// view by value (it is `Copy`), so the iterator borrows the
+    /// underlying buffers, not the view.
+    pub fn iter(self) -> InboxIter<'a, M> {
+        InboxIter {
+            inbox: self,
+            next: 0,
+        }
+    }
+
+    /// Whether `who` sent at least one of the messages.
+    pub fn heard_from(&self, who: Pid) -> bool {
+        self.iter().any(|e| e.sender == who)
+    }
+
+    /// Materializes the view as owned envelopes (allocates; for protocols
+    /// that want to mutate state while walking their intake, and for
+    /// cross-layout test comparisons).
+    pub fn to_vec(&self) -> Vec<Envelope<M>>
+    where
+        M: Clone,
+    {
+        self.iter()
+            .map(|e| Envelope {
+                sender: e.sender,
+                msg: e.msg.clone(),
+            })
+            .collect()
+    }
+}
+
+impl<'a, M> IntoIterator for Inbox<'a, M> {
+    type Item = EnvelopeRef<'a, M>;
+    type IntoIter = InboxIter<'a, M>;
+
+    fn into_iter(self) -> InboxIter<'a, M> {
+        self.iter()
+    }
+}
+
+impl<'a, M> IntoIterator for &Inbox<'a, M> {
+    type Item = EnvelopeRef<'a, M>;
+    type IntoIter = InboxIter<'a, M>;
+
+    fn into_iter(self) -> InboxIter<'a, M> {
+        self.iter()
+    }
+}
+
+/// Iterator over an [`Inbox`]; see [`Inbox::iter`].
+pub struct InboxIter<'a, M> {
+    inbox: Inbox<'a, M>,
+    next: usize,
+}
+
+impl<'a, M> Iterator for InboxIter<'a, M> {
+    type Item = EnvelopeRef<'a, M>;
+
+    fn next(&mut self) -> Option<EnvelopeRef<'a, M>> {
+        if self.next >= self.inbox.len() {
+            return None;
+        }
+        let item = self.inbox.get(self.next);
+        self.next += 1;
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.inbox.len() - self.next;
+        (left, Some(left))
+    }
+}
+
+impl<M> ExactSizeIterator for InboxIter<'_, M> {}
+
+/// Content equality across representations: a packed inbox equals an arena
+/// inbox with the same (sender, payload) sequence — what the layout
+/// equivalence suites byte-compare.
+impl<M: PartialEq> PartialEq for Inbox<'_, M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len()
+            && self
+                .iter()
+                .zip(other.iter())
+                .all(|(a, b)| a.sender == b.sender && a.msg == b.msg)
+    }
+}
+
+impl<M: Eq> Eq for Inbox<'_, M> {}
+
+impl<M: fmt::Debug> fmt::Debug for Inbox<'_, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list()
+            .entries(self.iter().map(|e| (e.sender, e.msg)))
+            .finish()
+    }
+}
+
+/// The flat structure-of-arrays message arena: every node's inbox for one
+/// buffer generation, in one contiguous allocation.
+///
+/// Envelope fields are split into parallel arrays — `senders`, `msgs`, and
+/// the counting-sort `ranks` tag — and node `v`'s span is
+/// `offsets[v]..offsets[v] + lens[v]`. On the engine's fast path the
+/// offsets are the **degree prefix sums precomputed once per execution**
+/// (a monotone-slot round delivers at most in-degree messages per node —
+/// exact capacity, no growth checks, no per-node allocations, no counting
+/// pass); when a round's shape exceeds that bound, the two-pass
+/// count/prefix-sum merge recomputes exact packed spans instead (see the
+/// engine docs). Two arenas are double-buffered (swapped, never rebuilt),
+/// and the arrays grow only to the high-water message count of an
+/// execution — capacity is pre-reserved from the delivery map's slot total
+/// (the sum of degrees), so one-send-per-edge workloads never reallocate
+/// at all.
+pub(crate) struct InboxArena<M> {
+    /// Per-node span starts, length `n`.
+    pub(crate) offsets: Vec<u32>,
+    /// Per-node span lengths, length `n` (double as the fast path's write
+    /// cursors).
+    pub(crate) lens: Vec<u32>,
+    /// Whether `offsets` currently holds the static degree prefix (the
+    /// fast path's invariant; a two-pass round overwrites the offsets and
+    /// clears this, and the next fast round restores them).
+    pub(crate) offsets_static: bool,
+    /// Whether `senders[..slot_total]` currently holds the static
+    /// full-broadcast sender plane (one entry per directed edge, in
+    /// inbox order) — the full-round scatter's invariant, letting it skip
+    /// the per-message sender write entirely.
+    pub(crate) senders_static: bool,
+    /// Whether `lens` currently equals the in-degree table (the
+    /// full-round invariant).
+    pub(crate) lens_full: bool,
+    /// Authenticated sender of every message, arena-indexed.
+    pub(crate) senders: Vec<Pid>,
+    /// Payload of every message, arena-indexed. The vector's *length* is
+    /// the high-water total (stale bytes outside the live spans are
+    /// retained as warm capacity and never exposed).
+    pub(crate) msgs: Vec<M>,
+    /// Counting-sort rank tag of every message — written (and read) only
+    /// within Byzantine-adjacent spans, where delivery must interleave
+    /// Byzantine traffic by sender.
+    pub(crate) ranks: Vec<u32>,
+}
+
+impl<M> InboxArena<M> {
+    /// An arena for `n` nodes with `slot_capacity` message slots
+    /// pre-reserved and the static degree-prefix `offsets` installed
+    /// (degree-presized: pass the graph's slot total).
+    pub(crate) fn new(n: usize, deg_offsets: &[u32], slot_capacity: usize) -> Self {
+        debug_assert!(deg_offsets.is_empty() || deg_offsets.len() == n);
+        InboxArena {
+            offsets: if deg_offsets.is_empty() {
+                vec![0; n]
+            } else {
+                deg_offsets.to_vec()
+            },
+            lens: vec![0; n],
+            offsets_static: true,
+            senders_static: false,
+            lens_full: false,
+            senders: Vec::with_capacity(slot_capacity),
+            msgs: Vec::with_capacity(slot_capacity),
+            ranks: Vec::with_capacity(slot_capacity),
+        }
+    }
+
+    /// Node `v`'s inbox span as a layout-independent view. Empty spans
+    /// short-circuit: with the static degree offsets the arrays may not
+    /// even cover an empty node's nominal span yet (e.g. before the first
+    /// message ever flowed).
+    pub(crate) fn inbox(&self, v: usize) -> Inbox<'_, M> {
+        let len = self.lens[v] as usize;
+        if len == 0 {
+            return Inbox::empty();
+        }
+        let o0 = self.offsets[v] as usize;
+        let o1 = o0 + len;
+        Inbox::Split {
+            senders: &self.senders[o0..o1],
+            msgs: &self.msgs[o0..o1],
+        }
+    }
+
+    /// Grows the parallel arrays to hold `total` messages, seeding new
+    /// payload slots with `filler` (every slot below `total` is
+    /// overwritten by the scatter before it is ever exposed). No-op once
+    /// the high-water mark is reached — steady-state rounds never pass
+    /// through here.
+    pub(crate) fn grow_to(&mut self, total: usize, filler: M)
+    where
+        M: Clone,
+    {
+        self.senders.resize(total, Pid(0));
+        self.ranks.resize(total, 0);
+        self.msgs.resize(total, filler);
+    }
+}
+
+/// All inboxes of one buffer generation, in whichever physical layout the
+/// engine selected — the engine-internal handle behind
+/// [`crate::FullInfoView::inbox`] and the compute phase.
+pub(crate) enum InboxesView<'a, M> {
+    /// Legacy layout: one `Vec<Envelope>` per node.
+    PerNode(&'a [Vec<Envelope<M>>]),
+    /// Arena layout: spans of the contiguous SoA arena.
+    Arena(&'a InboxArena<M>),
+}
+
+impl<M> Clone for InboxesView<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<M> Copy for InboxesView<'_, M> {}
+
+impl<'a, M> InboxesView<'a, M> {
+    /// Node `v`'s inbox.
+    pub(crate) fn inbox(&self, v: usize) -> Inbox<'a, M> {
+        match *self {
+            InboxesView::PerNode(buffers) => Inbox::Packed(&buffers[v]),
+            InboxesView::Arena(arena) => arena.inbox(v),
+        }
     }
 }
 
@@ -126,6 +439,11 @@ impl DeliveryMap {
     /// sorted neighbour pid list.
     pub fn targets_of(&self, u: usize) -> &[SlotTarget] {
         &self.targets[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// Total number of slots (directed edges) in the map.
+    pub fn total_slots(&self) -> usize {
+        self.targets.len()
     }
 }
 

@@ -3,7 +3,7 @@
 use rand_chacha::ChaCha8Rng;
 
 use crate::idspace::Pid;
-use crate::message::{Envelope, MessageSize};
+use crate::message::{Inbox, MessageSize};
 
 /// A distributed protocol run by every *honest* node.
 ///
@@ -56,7 +56,7 @@ pub struct NodeContext<'a, M> {
     pub(crate) round: u64,
     pub(crate) me: Pid,
     pub(crate) neighbors: &'a [Pid],
-    pub(crate) inbox: &'a [Envelope<M>],
+    pub(crate) inbox: Inbox<'a, M>,
     pub(crate) rng: &'a mut ChaCha8Rng,
     pub(crate) outgoing: &'a mut Vec<(u32, M)>,
 }
@@ -87,15 +87,16 @@ impl<'a, M: Clone> NodeContext<'a, M> {
     }
 
     /// Messages received at the end of the previous round, sorted by
-    /// sender.
-    pub fn inbox(&self) -> &[Envelope<M>] {
+    /// sender — a layout-independent [`Inbox`] view (iterate it, index it,
+    /// or materialize it with [`Inbox::to_vec`]).
+    pub fn inbox(&self) -> Inbox<'a, M> {
         self.inbox
     }
 
     /// Whether `who` sent us at least one message this round. Used e.g. by
     /// Algorithm 1's mute-neighbour detection.
     pub fn heard_from(&self, who: Pid) -> bool {
-        self.inbox.iter().any(|e| e.sender == who)
+        self.inbox.heard_from(who)
     }
 
     /// This node's private deterministic randomness stream.
@@ -138,6 +139,7 @@ impl<'a, M: Clone> NodeContext<'a, M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::message::Envelope;
     use rand::SeedableRng;
 
     fn ctx<'a>(
@@ -150,7 +152,7 @@ mod tests {
             round: 3,
             me: Pid(42),
             neighbors,
-            inbox,
+            inbox: Inbox::Packed(inbox),
             rng,
             outgoing,
         }

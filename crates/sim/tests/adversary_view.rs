@@ -255,6 +255,70 @@ fn observing_adversary_sees_identical_traffic_under_fused_request() {
     assert_eq!(fused_report.outputs, flat_report.outputs);
 }
 
+/// The arena-layout face of the same gating guarantee: an *observing*
+/// adversary must see the full flat `honest_outgoing` view even when the
+/// SoA arena layout is requested — the engine silently pins the per-node
+/// layout and the flat merge (the arena, like fusion, never materializes
+/// the flat vector), and the view is identical message for message to an
+/// explicit per-node flat run.
+#[test]
+fn observing_adversary_sees_identical_flat_view_under_arena_layout() {
+    type SeenTraffic = Vec<(NodeId, NodeId, u64)>;
+
+    struct TrafficRecorder {
+        log: Rc<RefCell<Vec<SeenTraffic>>>,
+    }
+    impl Adversary<Echo> for TrafficRecorder {
+        fn on_round(&mut self, view: &FullInfoView<'_, Echo>, ctx: &mut ByzantineContext<'_, Num>) {
+            self.log.borrow_mut().push(
+                view.honest_outgoing()
+                    .iter()
+                    .map(|&(from, to, msg)| (from, to, msg.0))
+                    .collect(),
+            );
+            for b in view.byzantine_nodes().collect::<Vec<_>>() {
+                ctx.broadcast(b, Num(11));
+            }
+        }
+        // observes_traffic: default true — this adversary READS the slice.
+    }
+
+    let g = cycle(8).unwrap();
+    let byz = [NodeId(3)];
+    let run = |layout: InboxLayout, fused_merge: bool| {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new(
+            &g,
+            &byz,
+            |_, _| Echo { round: 0 },
+            TrafficRecorder {
+                log: Rc::clone(&log),
+            },
+            SimConfig {
+                max_rounds: 6,
+                stop_when: StopWhen::MaxRoundsOnly,
+                layout,
+                fused_merge,
+                ..SimConfig::default()
+            },
+        );
+        let report = sim.run();
+        drop(sim);
+        let seen = Rc::try_unwrap(log).expect("sim dropped").into_inner();
+        (report, seen)
+    };
+    let (arena_report, arena_seen) = run(InboxLayout::Arena, true);
+    let (flat_report, flat_seen) = run(InboxLayout::PerNode, false);
+    assert_eq!(arena_seen.len(), 6);
+    assert!(
+        arena_seen.iter().all(|round| !round.is_empty()),
+        "an observing adversary must never see an empty honest round here"
+    );
+    assert_eq!(arena_seen, flat_seen);
+    assert_eq!(arena_report.metrics, flat_report.metrics);
+    assert_eq!(arena_report.outputs, flat_report.outputs);
+}
+
 /// The complementary direction: a non-observing adversary really does
 /// activate fusion under the default config, and its transcript still
 /// matches the flat run (so fusion changes cost, never behavior).

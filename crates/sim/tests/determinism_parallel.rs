@@ -4,21 +4,24 @@
 //! across seeds, topologies, **and worker-pool sizes**.
 //!
 //! The matrix covers the serial path, the `parallel`-feature honest
-//! phase, the sharded merge, the **fused** merge→delivery pipeline, and
-//! their compositions:
+//! phase, the sharded merge, the **fused** merge→delivery pipeline, the
+//! **arena** message-plane layout, and their compositions:
 //!
 //! | axis      | values                                             |
 //! |-----------|----------------------------------------------------|
 //! | compute   | node order / rayon fork-join (`parallel`)          |
 //! | delivery  | plain counting sort / per-destination-range shards |
 //! | merge     | flat `honest_outgoing` vector / fused scatter      |
+//! | layout    | per-node `Vec<Envelope>` / flat SoA arena          |
 //! | pool size | 1 / 2 / 4 (`ThreadPoolBuilder`, `install`)         |
 //!
 //! The adversary here declares `observes_traffic() == false`, so
-//! requesting `fused_merge` really activates fusion (the flat modes force
-//! it off); the inverse — an *observing* adversary silently pinning the
-//! flat path whatever the flag says — is covered by
-//! `tests/adversary_view.rs`.
+//! requesting `fused_merge` really activates fusion and the arena layout
+//! really activates the two-pass arena merge (the flat modes force both
+//! off — an arena row with `fused: false` proves the layout switch is
+//! inert on the flat pipeline); the inverse — an *observing* adversary
+//! silently pinning the flat path and per-node layout whatever the flags
+//! say — is covered by `tests/adversary_view.rs`.
 //!
 //! Without the `parallel` feature the `SimConfig::parallel` flag is an
 //! ignored no-op, so the parallel rows degenerate to serial compute (the
@@ -47,7 +50,7 @@ impl Protocol for JitterFlood {
     type Output = u64;
 
     fn on_round(&mut self, ctx: &mut NodeContext<'_, Pid>) {
-        let inbox_max = ctx.inbox().iter().map(|e| e.msg).max();
+        let inbox_max = ctx.inbox().iter().map(|e| *e.msg).max();
         if let Some(m) = inbox_max {
             if m > self.best {
                 self.best = m;
@@ -75,8 +78,12 @@ impl Protocol for JitterFlood {
 
 /// A rushing adversary with its own randomness, exercising the adversary
 /// RNG stream and the Byzantine delivery path. It never reads
-/// `honest_outgoing`, and says so — licensing the fused pipeline for the
-/// fused rows of the matrix.
+/// `honest_outgoing`, and says so — licensing the fused pipeline (and the
+/// arena layout) for the licensed rows of the matrix. The double
+/// broadcast every fifth round overflows the arena's degree-presized
+/// Byzantine budget, forcing those rounds through the exact two-pass
+/// count/prefix-sum merge — so the matrix covers the arena's fast *and*
+/// exact paths.
 struct NoisyEcho;
 
 impl Adversary<JitterFlood> for NoisyEcho {
@@ -91,6 +98,9 @@ impl Adversary<JitterFlood> for NoisyEcho {
         let fake = Pid(rand::Rng::gen(ctx.rng()));
         for b in view.byzantine_nodes() {
             ctx.broadcast(b, fake);
+            if view.round() % 5 == 0 {
+                ctx.broadcast(b, Pid(fake.0.wrapping_add(1)));
+            }
         }
     }
 
@@ -99,57 +109,36 @@ impl Adversary<JitterFlood> for NoisyEcho {
     }
 }
 
-/// One execution mode of the serial/parallel/sharded/fused matrix.
+/// One execution mode of the serial/parallel/sharded/fused/arena matrix.
 #[derive(Debug, Clone, Copy)]
 struct Mode {
     parallel: bool,
     sharded: bool,
     fused: bool,
+    arena: bool,
 }
 
-/// The full matrix, serial flat reference first.
-const MODES: [Mode; 8] = [
-    Mode {
+/// The full layout × merge-mode × compute matrix (16 modes), serial flat
+/// per-node reference first.
+const MODES: [Mode; 16] = {
+    let mut modes = [Mode {
         parallel: false,
         sharded: false,
         fused: false,
-    },
-    Mode {
-        parallel: true,
-        sharded: false,
-        fused: false,
-    },
-    Mode {
-        parallel: false,
-        sharded: true,
-        fused: false,
-    },
-    Mode {
-        parallel: true,
-        sharded: true,
-        fused: false,
-    },
-    Mode {
-        parallel: false,
-        sharded: false,
-        fused: true,
-    },
-    Mode {
-        parallel: true,
-        sharded: false,
-        fused: true,
-    },
-    Mode {
-        parallel: false,
-        sharded: true,
-        fused: true,
-    },
-    Mode {
-        parallel: true,
-        sharded: true,
-        fused: true,
-    },
-];
+        arena: false,
+    }; 16];
+    let mut i = 0;
+    while i < 16 {
+        modes[i] = Mode {
+            parallel: i & 1 != 0,
+            sharded: i & 2 != 0,
+            fused: i & 4 != 0,
+            arena: i & 8 != 0,
+        };
+        i += 1;
+    }
+    modes
+};
 
 fn run(g: &Graph, byz: &[NodeId], seed: u64, mode: Mode) -> SimReport<u64> {
     let mut sim = Simulation::new(
@@ -168,6 +157,11 @@ fn run(g: &Graph, byz: &[NodeId], seed: u64, mode: Mode) -> SimReport<u64> {
             parallel: mode.parallel,
             sharded_merge: mode.sharded,
             fused_merge: mode.fused,
+            layout: if mode.arena {
+                InboxLayout::Arena
+            } else {
+                InboxLayout::PerNode
+            },
             ..SimConfig::default()
         },
     );

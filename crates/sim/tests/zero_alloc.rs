@@ -64,32 +64,65 @@ impl Protocol for Chatter {
     }
 }
 
+/// Like [`Chatter`], but every round it additionally re-sends to its
+/// first neighbour *after* the broadcast — a non-monotone slot sequence,
+/// which pins the arena layout onto its exact two-pass count/prefix-sum
+/// merge every single round.
+#[derive(Debug, Clone)]
+struct DoubleChatter(Pid);
+
+impl Protocol for DoubleChatter {
+    type Message = Pid;
+    type Output = ();
+
+    fn on_round(&mut self, ctx: &mut NodeContext<'_, Pid>) {
+        let heard = ctx.inbox().len() as u64;
+        let msg = Pid(self.0 .0.wrapping_add(heard));
+        ctx.broadcast(msg);
+        let first = ctx.neighbors()[0];
+        ctx.send(first, msg);
+    }
+
+    fn output(&self) -> Option<()> {
+        None
+    }
+
+    fn has_halted(&self) -> bool {
+        false
+    }
+}
+
 /// Runs one steady-state window and asserts it performs zero allocations.
 ///
-/// Covers the full merge × delivery layout matrix: the flat merge with
+/// Covers the full merge × delivery × layout matrix: the flat merge with
 /// the plain counting-sort scatter and with the sharded merge
-/// (per-destination-range queues), and the **fused** merge→delivery
-/// pipeline in both layouts (`NullAdversary` licenses fusion, so
-/// `fused_merge: true` really takes the fused path) — the sender-rank
-/// table, per-inbox rank/permutation scratch, staged inboxes, and shard
-/// queues are all built or grown during warm-up and only reused
-/// afterwards.
-fn assert_zero_alloc_rounds(sharded_merge: bool, fused_merge: bool) {
+/// (per-destination-range queues), the **fused** merge→delivery pipeline
+/// (`NullAdversary` licenses it, so `fused_merge: true` really takes the
+/// fused path), and the **arena** layout's pipelines — the sender-rank
+/// table, per-inbox rank/permutation scratch, staged inboxes, shard
+/// queues, and the SoA arena's parallel arrays are all built or grown
+/// during warm-up and only reused afterwards.
+fn assert_zero_alloc_rounds(
+    sharded_merge: bool,
+    fused_merge: bool,
+    layout: InboxLayout,
+    byz: bool,
+) {
     let g = cycle(96).unwrap();
     let cfg = SimConfig {
         max_rounds: u64::MAX,
         stop_when: StopWhen::MaxRoundsOnly,
         sharded_merge,
         fused_merge,
+        layout,
         ..SimConfig::default()
     };
-    let mut sim = Simulation::new(
-        &g,
-        &[NodeId(17)], // one silent Byzantine node exercises that path too
-        |_, init| Chatter(init.pid),
-        NullAdversary,
-        cfg,
-    );
+    // A silent Byzantine node exercises the Byzantine-adjacent sort path
+    // (and, under the arena, blocks the broadcast-table fast path so the
+    // degree-presized general path runs); without one, a Chatter run is a
+    // pure broadcast round every round.
+    let byz: &[NodeId] = if byz { &[NodeId(17)] } else { &[] };
+    let mut sim = Simulation::new(&g, byz, |_, init| Chatter(init.pid), NullAdversary, cfg);
     // Warm-up: let every buffer reach its steady capacity.
     for _ in 0..30 {
         sim.step();
@@ -100,19 +133,65 @@ fn assert_zero_alloc_rounds(sharded_merge: bool, fused_merge: bool) {
     }
     let delta = ALLOCATIONS.load(Ordering::SeqCst) - before;
     assert_eq!(
-        delta, 0,
+        delta,
+        0,
         "steady-state rounds must not allocate (saw {delta} allocations over \
-         200 rounds, sharded_merge={sharded_merge}, fused_merge={fused_merge})"
+         200 rounds, sharded_merge={sharded_merge}, fused_merge={fused_merge}, \
+         layout={layout:?}, byz={})",
+        !byz.is_empty()
+    );
+}
+
+/// The arena's exact two-pass merge, which runs when a round's slot
+/// sequences are non-monotone, must also be allocation-free in steady
+/// state.
+fn assert_zero_alloc_two_pass(sharded_merge: bool) {
+    let g = cycle(96).unwrap();
+    let cfg = SimConfig {
+        max_rounds: u64::MAX,
+        stop_when: StopWhen::MaxRoundsOnly,
+        sharded_merge,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulation::new(
+        &g,
+        &[NodeId(17)],
+        |_, init| DoubleChatter(init.pid),
+        NullAdversary,
+        cfg,
+    );
+    for _ in 0..30 {
+        sim.step();
+    }
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..200 {
+        sim.step();
+    }
+    let delta = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        delta, 0,
+        "steady-state two-pass rounds must not allocate (saw {delta} \
+         allocations over 200 rounds, sharded_merge={sharded_merge})"
     );
 }
 
 fn main() {
-    assert_zero_alloc_rounds(false, false);
-    assert_zero_alloc_rounds(true, false);
-    assert_zero_alloc_rounds(false, true);
-    assert_zero_alloc_rounds(true, true);
+    // Legacy per-node layout: flat and fused, plain and sharded.
+    assert_zero_alloc_rounds(false, false, InboxLayout::PerNode, true);
+    assert_zero_alloc_rounds(true, false, InboxLayout::PerNode, true);
+    assert_zero_alloc_rounds(false, true, InboxLayout::PerNode, true);
+    assert_zero_alloc_rounds(true, true, InboxLayout::PerNode, true);
+    // Arena layout: the broadcast-table path (no Byzantine nodes), the
+    // degree-presized general path (silent Byzantine node), the sharded
+    // arena, and the exact two-pass merge (non-monotone sends).
+    assert_zero_alloc_rounds(false, true, InboxLayout::Arena, false);
+    assert_zero_alloc_rounds(false, true, InboxLayout::Arena, true);
+    assert_zero_alloc_rounds(true, true, InboxLayout::Arena, true);
+    assert_zero_alloc_two_pass(false);
+    assert_zero_alloc_two_pass(true);
     println!(
         "zero_alloc: ok (0 allocations over 200 steady-state rounds; \
-         flat+plain, flat+sharded, fused+plain, fused+sharded)"
+         per-node flat/fused x plain/sharded, arena broadcast/general/\
+         sharded, arena two-pass plain/sharded)"
     );
 }

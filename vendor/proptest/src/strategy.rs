@@ -6,11 +6,17 @@
 //! restarting from the first candidate that still fails. Integers shrink
 //! by binary jumps toward their minimum (halving deltas), vectors by
 //! prefix truncation, element removal, and element-wise shrinking.
-//! [`Strategy::prop_map`]ped strategies do not shrink (the mapping is not
-//! invertible).
+//! [`Strategy::prop_map`]ped strategies shrink by **regeneration**: the
+//! mapping is not invertible, so [`Map`] caches the *source* value it last
+//! sampled, shrinks that, and re-maps the candidates; the runner reports
+//! which candidate survived ([`Strategy::accept_shrink`]) so the cache can
+//! follow the descent. Regeneration composes through tuples and nested
+//! maps; a mapped strategy used as a *collection element* still does not
+//! deep-shrink (one cache cannot track many positions).
 
 use crate::test_runner::TestRng;
 use rand::Rng;
+use std::cell::RefCell;
 
 /// A recipe for generating values of one type.
 pub trait Strategy {
@@ -29,16 +35,34 @@ pub trait Strategy {
         Vec::new()
     }
 
+    /// Notifies the strategy that candidate `index` of its most recent
+    /// [`Strategy::shrink`]`(prev)` call failed the property and became
+    /// the new minimal value. Stateless strategies ignore this (the
+    /// default); [`Map`] uses it to move its cached *source* value along
+    /// the descent, and tuples route it to the component that produced
+    /// the candidate.
+    fn accept_shrink(&self, prev: &Self::Value, index: usize) {
+        let _ = (prev, index);
+    }
+
     /// Maps generated values through `f`.
     ///
-    /// Mapped strategies do not shrink: `f` is not invertible, so failing
-    /// outputs cannot be traced back to simpler inputs.
+    /// Mapped strategies shrink by regeneration: the source value behind
+    /// the last sample (or accepted candidate) is cached, shrunk with the
+    /// inner strategy, and re-mapped — see the [module docs](self).
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
         F: Fn(Self::Value) -> O,
     {
-        Map { inner: self, f }
+        Map {
+            inner: self,
+            f,
+            state: RefCell::new(MapState {
+                current: None,
+                candidates: Vec::new(),
+            }),
+        }
     }
 }
 
@@ -62,21 +86,88 @@ fn int_shrink_candidates(value: i128, target: i128) -> Vec<i128> {
 }
 
 /// See [`Strategy::prop_map`].
-#[derive(Debug, Clone, Copy)]
-pub struct Map<S, F> {
+#[derive(Debug)]
+pub struct Map<S, F>
+where
+    S: Strategy,
+{
     inner: S,
     f: F,
+    /// Regeneration state: the source value behind the last sampled (or
+    /// accepted) output, and the sources of the candidates proposed by
+    /// the most recent `shrink` call.
+    state: RefCell<MapState<S::Value>>,
+}
+
+#[derive(Debug)]
+struct MapState<V> {
+    current: Option<V>,
+    candidates: Vec<V>,
+}
+
+impl<S, F> Clone for Map<S, F>
+where
+    S: Strategy + Clone,
+    F: Clone,
+{
+    fn clone(&self) -> Self {
+        // The clone starts with a fresh cache: regeneration state tracks
+        // one sampling stream, not the strategy recipe.
+        Map {
+            inner: self.inner.clone(),
+            f: self.f.clone(),
+            state: RefCell::new(MapState {
+                current: None,
+                candidates: Vec::new(),
+            }),
+        }
+    }
 }
 
 impl<S, O, F> Strategy for Map<S, F>
 where
     S: Strategy,
+    S::Value: Clone,
     F: Fn(S::Value) -> O,
 {
     type Value = O;
 
     fn sample(&self, rng: &mut TestRng) -> O {
-        (self.f)(self.inner.sample(rng))
+        let source = self.inner.sample(rng);
+        let mut state = self.state.borrow_mut();
+        state.current = Some(source.clone());
+        state.candidates.clear();
+        drop(state);
+        (self.f)(source)
+    }
+
+    /// Regeneration-based shrinking: ignore the (non-invertible) failing
+    /// output, shrink the cached *source* with the inner strategy, and
+    /// re-map the candidates. The runner's [`Strategy::accept_shrink`]
+    /// callback keeps the cache in lock-step with the descent.
+    fn shrink(&self, _value: &O) -> Vec<O> {
+        let mut state = self.state.borrow_mut();
+        let Some(current) = state.current.clone() else {
+            return Vec::new();
+        };
+        let candidates = self.inner.shrink(&current);
+        state.candidates = candidates.clone();
+        drop(state);
+        candidates.into_iter().map(&self.f).collect()
+    }
+
+    fn accept_shrink(&self, _prev: &O, index: usize) {
+        let mut state = self.state.borrow_mut();
+        let Some(source) = state.candidates.get(index).cloned() else {
+            return;
+        };
+        let prev_source = state.current.replace(source);
+        drop(state);
+        // Nested maps: the inner strategy proposed these candidates from
+        // its own cache — let it follow the same descent.
+        if let Some(prev_source) = prev_source {
+            self.inner.accept_shrink(&prev_source, index);
+        }
     }
 }
 
@@ -287,6 +378,23 @@ macro_rules! tuple_strategy {
                     }
                 )+
                 out
+            }
+
+            fn accept_shrink(&self, prev: &Self::Value, index: usize) {
+                // Route the flat candidate index back to the component
+                // that proposed it (re-deriving the per-component counts
+                // is deterministic — mapped components reproduce their
+                // cached candidate lists).
+                let mut start = 0usize;
+                $(
+                    let count = self.$idx.shrink(&prev.$idx).len();
+                    if index < start + count {
+                        self.$idx.accept_shrink(&prev.$idx, index - start);
+                        return;
+                    }
+                    start += count;
+                )+
+                let _ = start;
             }
         }
     )*};

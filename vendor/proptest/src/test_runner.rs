@@ -123,13 +123,17 @@ where
 {
     let mut steps = 0u32;
     'minimize: while steps < config.max_shrink_iters {
-        for candidate in strategy.shrink(&minimal) {
+        for (index, candidate) in strategy.shrink(&minimal).into_iter().enumerate() {
             if steps >= config.max_shrink_iters {
                 break 'minimize;
             }
             steps += 1;
             let shown = candidate.clone();
             if let Err(TestCaseError::Fail(better)) = test(candidate) {
+                // Tell the strategy which candidate survived so
+                // regeneration-based shrinkers (prop_map) can move their
+                // cached source along the descent.
+                strategy.accept_shrink(&minimal, index);
                 minimal = shown;
                 message = better;
                 continue 'minimize;
@@ -221,6 +225,72 @@ mod tests {
         assert!(
             msg.contains("minimal failing input: (true, 6)"),
             "not minimized component-wise: {msg}"
+        );
+    }
+
+    #[test]
+    fn mapped_tuples_shrink_through_regeneration() {
+        // The mapping is not invertible, so shrinking must regenerate:
+        // shrink the underlying (a, b) tuple and re-map. Fails for
+        // a >= 123, so the minimal case is Widget { a: 123, b: 0 } —
+        // strictly below whatever the first counterexample was.
+        #[derive(Debug, Clone, PartialEq)]
+        struct Widget {
+            a: u64,
+            b: u64,
+        }
+        let strategy = ((0u64..10_000), (0u64..10_000)).prop_map(|(a, b)| Widget { a, b });
+        let msg = failure_message(&strategy, |w| {
+            if w.a < 123 {
+                Ok(())
+            } else {
+                Err(TestCaseError::fail(format!("a too big: {}", w.a)))
+            }
+        })
+        .expect("property must fail");
+        assert!(
+            msg.contains("minimal failing input: Widget { a: 123, b: 0 }"),
+            "mapped tuple not minimized to the boundary: {msg}"
+        );
+    }
+
+    #[test]
+    fn nested_maps_shrink_through_regeneration() {
+        // Regeneration composes: a map over a map over a tuple still
+        // descends to the failure boundary (2 * a + 1 >= 19 ⟺ a >= 9).
+        let strategy = ((0u64..1_000),)
+            .prop_map(|(a,)| a * 2)
+            .prop_map(|doubled| doubled + 1);
+        let msg = failure_message(&strategy, |odd| {
+            if odd < 19 {
+                Ok(())
+            } else {
+                Err(TestCaseError::fail(format!("odd too big: {odd}")))
+            }
+        })
+        .expect("property must fail");
+        assert!(
+            msg.contains("minimal failing input: 19"),
+            "nested map not minimized to the boundary: {msg}"
+        );
+    }
+
+    #[test]
+    fn mapped_strategies_shrink_inside_tuples() {
+        // A mapped component inside an outer tuple: the tuple routes the
+        // accepted-candidate index to the component, whose cache follows.
+        let strategy = ((0u64..1_000).prop_map(|v| v + 1), (0u32..50));
+        let msg = failure_message(&strategy, |(v, _w)| {
+            if v < 42 {
+                Ok(())
+            } else {
+                Err(TestCaseError::fail(format!("v={v}")))
+            }
+        })
+        .expect("property must fail");
+        assert!(
+            msg.contains("minimal failing input: (42, 0)"),
+            "mapped tuple component not minimized: {msg}"
         );
     }
 

@@ -237,6 +237,28 @@ fn bench_engine(c: &mut Criterion) {
             );
         }
     }
+
+    // Scale tier: the compact-plane steady state at 2^16 and 2^20 nodes,
+    // default (arena) configuration only — the small-n lanes above already
+    // price the layout alternatives, and one long-lived simulation per
+    // size keeps the group's footprint bounded. Fewer rounds per
+    // iteration than the small lanes: a full-broadcast round at n = 2^20
+    // moves ~8.4M messages, so 4 rounds is already a meaty iteration.
+    // With BCOUNT_BENCH_JSON set, the artifact's top-level `peak_rss_kb`
+    // records the memory high-water mark these lanes establish.
+    for &(n, rounds) in &[(65_536usize, 10u64), (1_048_576, 4)] {
+        let g = network(n, 8, n as u64);
+        group.throughput(Throughput::Elements(rounds));
+        let mut sim = warmed(&g, chatter_config(false));
+        group.bench_with_input(BenchmarkId::new("reuse_buffers", n), &n, |b, _| {
+            b.iter(|| {
+                for _ in 0..rounds {
+                    sim.step();
+                }
+                sim.round()
+            });
+        });
+    }
     group.finish();
 }
 

@@ -80,14 +80,21 @@ fn artifact(results: &[ExperimentResult], cells: &[CellRecord], args: &Args) -> 
             ])
         })
         .collect();
-    Json::obj(vec![
+    let mut fields = vec![
         ("schema", SCHEMA.to_json()),
         ("quick", args.quick.to_json()),
         ("scenario_filter", args.scenario.to_json()),
         ("seeds", args.seeds.to_json()),
         ("experiments", Json::Arr(experiments)),
         ("scenarios", cells.to_json()),
-    ])
+    ];
+    // Memory high-water mark of the whole run (Linux `VmHWM`), so
+    // scale-tier sweeps record their footprint next to their timings;
+    // omitted where the platform cannot report it.
+    if let Some(kb) = bcount_sim::peak_rss_kb() {
+        fields.insert(1, ("peak_rss_kb", kb.to_json()));
+    }
+    Json::obj(fields)
 }
 
 fn main() -> ExitCode {

@@ -297,6 +297,15 @@ fn perf_gate(args: &[String]) -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    // Surface the memory high-water marks alongside the throughput gate:
+    // informational (machine RAM differs across runner classes), but they
+    // make footprint regressions visible in the CI log next to the lanes
+    // that caused them.
+    for (side, doc) in [("baseline", &baseline_doc), ("current", &current_doc)] {
+        if let Some(kb) = doc.get("peak_rss_kb").and_then(Json::as_num) {
+            println!("  {side} peak RSS: {:.0} kB", kb.as_f64());
+        }
+    }
     let mut regressions = Vec::new();
     println!(
         "perf gate{}: tolerance {:.0}%, {} gated benchmarks (filter '{}')",

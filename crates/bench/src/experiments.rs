@@ -368,8 +368,60 @@ pub fn family_scenarios() -> Vec<Scenario> {
     }]
 }
 
+/// Scale-tier matrix rows: the compact-plane engine at 2^16 and 2^20
+/// nodes under the cheap geometric-max baseline and its max-faker
+/// attack. These rows exist to put million-node wall-clock (and, via the
+/// artifact's `peak_rss_kb`, memory footprint) on the experimental
+/// record — estimate quality at this tier is not the question, so the
+/// acceptance band is unconstrained. Run them with
+/// `--scenario scale` (full mode reaches n = 2^20; `--quick` stays at
+/// 2^16).
+pub fn scale_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            sizes: vec![65_536, 1_048_576],
+            quick_sizes: vec![65_536],
+            budgets: vec![BudgetSpec::Fixed(8)],
+            adversary: AdversarySpec::MaxFaker {
+                fake_value: 1 << 20,
+            },
+            protocol: ProtocolSpec::GeometricMax { budget: 12 },
+            band: Band::new(0.0, 1e9),
+            seeds: vec![5],
+            max_rounds: 64,
+            graph_seed_base: 16_000,
+            ..base_scenario("scale/geometric-max/max-faker")
+        },
+        // A *full LOCAL execution* at the million-node tier. Algorithm 1
+        // floods whole views, so it is only tractable at n = 2^20 on a
+        // low-expansion family where the expansion check fails while
+        // views are still tiny: on the cycle a radius-r view is a path
+        // of 2r + 1 nodes with boundary expansion 2/(2r + 1), so with
+        // α′ = 0.2 every node decides once its view holds ~11 nodes.
+        // `exhaustive_limit: 8` keeps the per-round check on the sweep +
+        // Fiedler members instead of the 2^|view| subset enumeration.
+        Scenario {
+            family: GraphFamily::Cycle,
+            sizes: vec![65_536, 1_048_576],
+            quick_sizes: vec![65_536],
+            budgets: vec![BudgetSpec::Fixed(8)],
+            protocol: ProtocolSpec::Local(LocalConfig {
+                alpha_prime: 0.2,
+                exhaustive_limit: 8,
+                ..LocalConfig::default()
+            }),
+            band: Band::new(0.0, 1e9),
+            seeds: vec![5],
+            max_rounds: 64,
+            graph_seed_base: 17_000,
+            ..base_scenario("scale/local/cycle/null")
+        },
+    ]
+}
+
 /// The standard scenario matrix behind the `--scenario` CLI: every
-/// sweep-style experiment's scenarios plus the extra family axis.
+/// sweep-style experiment's scenarios plus the extra family axis and the
+/// scale tier.
 pub fn standard_matrix() -> Vec<Scenario> {
     let mut all = Vec::new();
     all.extend(e1_scenarios());
@@ -382,6 +434,7 @@ pub fn standard_matrix() -> Vec<Scenario> {
     all.extend(e13_scenarios());
     all.extend(e14_scenarios());
     all.extend(family_scenarios());
+    all.extend(scale_scenarios());
     all
 }
 

@@ -7,7 +7,7 @@
 
 use rand::Rng;
 
-use crate::{Graph, GraphBuilder, GraphError, NodeId};
+use crate::{CsrBuilder, Graph, GraphError, NodeId};
 
 /// Two cliques of size `clique` joined by a path of `bridge` intermediate
 /// nodes (a classic barbell; `bridge = 0` joins them with a single edge).
@@ -20,8 +20,9 @@ pub fn barbell(clique: usize, bridge: usize) -> Result<Graph, GraphError> {
         return Err(GraphError::TooFewNodes { n: clique, min: 2 });
     }
     let n = 2 * clique + bridge;
-    let mut b = GraphBuilder::new(n);
-    let add_clique = |b: &mut GraphBuilder, base: usize| {
+    let m = clique * (clique - 1) + bridge + 1;
+    let mut b = CsrBuilder::with_edge_capacity(n, m);
+    let add_clique = |b: &mut CsrBuilder, base: usize| {
         for i in base..base + clique {
             for j in i + 1..base + clique {
                 b.add_edge(NodeId(i as u32), NodeId(j as u32));
@@ -57,7 +58,7 @@ pub fn bridged_expanders<R: Rng + ?Sized>(
 ) -> Result<Graph, GraphError> {
     let a = crate::gen::hamiltonian::hnd(m, d, rng)?;
     let b = crate::gen::hamiltonian::hnd(m, d, rng)?;
-    let mut builder = GraphBuilder::new(2 * m);
+    let mut builder = CsrBuilder::with_edge_capacity(2 * m, m * d + 1);
     for (u, v) in a.edges() {
         builder.add_edge(u, v);
     }

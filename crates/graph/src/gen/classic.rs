@@ -2,7 +2,7 @@
 
 use rand::Rng;
 
-use crate::{Graph, GraphBuilder, GraphError, NodeId};
+use crate::{CsrBuilder, Graph, GraphError, NodeId};
 
 /// The complete graph `K_n`.
 ///
@@ -17,7 +17,7 @@ pub fn complete(n: usize) -> Result<Graph, GraphError> {
     if n < 1 {
         return Err(GraphError::TooFewNodes { n, min: 1 });
     }
-    let mut b = GraphBuilder::new(n);
+    let mut b = CsrBuilder::with_edge_capacity(n, n * (n - 1) / 2);
     for i in 0..n {
         for j in i + 1..n {
             b.add_edge(NodeId(i as u32), NodeId(j as u32));
@@ -38,7 +38,7 @@ pub fn star(n: usize) -> Result<Graph, GraphError> {
     if n < 2 {
         return Err(GraphError::TooFewNodes { n, min: 2 });
     }
-    let mut b = GraphBuilder::new(n);
+    let mut b = CsrBuilder::with_edge_capacity(n, n - 1);
     for i in 1..n {
         b.add_edge(NodeId(0), NodeId(i as u32));
     }
@@ -64,7 +64,13 @@ pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result<Gra
     if !(0.0..=1.0).contains(&p) {
         return Err(GraphError::InvalidProbability { p });
     }
-    let mut b = GraphBuilder::new(n);
+    // Presize to the expected edge count plus a four-sigma margin; the edge
+    // list still grows gracefully in the unlucky tail.
+    let pairs = n * (n - 1) / 2;
+    let expected = pairs as f64 * p;
+    let margin = 4.0 * (expected * (1.0 - p)).sqrt();
+    let cap = ((expected + margin) as usize).min(pairs);
+    let mut b = CsrBuilder::with_edge_capacity(n, cap);
     for i in 0..n {
         for j in i + 1..n {
             if rng.gen_bool(p) {

@@ -9,7 +9,7 @@
 
 use rand::Rng;
 
-use crate::{Graph, GraphBuilder, GraphError, NodeId};
+use crate::{CsrBuilder, Graph, GraphError, NodeId};
 
 /// Generates a Watts–Strogatz small-world graph.
 ///
@@ -76,7 +76,8 @@ pub fn watts_strogatz<R: Rng + ?Sized>(
             }
         }
     }
-    let mut b = GraphBuilder::new(n);
+    // Rewiring never adds edges, so the lattice's n·k is an exact ceiling.
+    let mut b = CsrBuilder::with_edge_capacity(n, n * k);
     for (u, set) in adj.iter().enumerate() {
         for &v in set {
             if (u as u32) < v {

@@ -260,6 +260,15 @@ pub struct SimConfig {
     /// [`SimConfig::fused_merge`], observation pins the legacy flat
     /// path); transcripts are bit-identical either way.
     pub layout: InboxLayout,
+    /// Run rounds over the **active set** only — the nodes with pending
+    /// inbox traffic — instead of sweeping all `n` nodes. Takes effect
+    /// only when the protocol declares
+    /// [`Protocol::QUIESCENT_ON_SILENCE`] *and* the unsharded arena
+    /// pipeline is licensed (the same silent-fallback rule as
+    /// [`SimConfig::layout`]); otherwise the dense schedule — the
+    /// byte-identical oracle — runs regardless of this flag. On by
+    /// default.
+    pub sparse_rounds: bool,
 }
 
 impl Default for SimConfig {
@@ -275,6 +284,7 @@ impl Default for SimConfig {
             fused_merge: true,
             delivery: DeliveryMode::CountingSort,
             layout: InboxLayout::Arena,
+            sparse_rounds: true,
         }
     }
 }
@@ -385,11 +395,11 @@ pub struct Simulation<'g, P: Protocol, A> {
     /// Per-node inbox length of a broadcast round (distinct in-degree).
     /// Arena only.
     bcast_lens: Vec<u32>,
-    /// The sender plane of a broadcast round — the authenticated [`Pid`]
-    /// at every broadcast-round arena position. Copied into an arena once
-    /// and then invariant across consecutive broadcast rounds. Arena
-    /// only.
-    static_senders: Vec<Pid>,
+    /// The sender plane of a broadcast round — the dense sender node id
+    /// at every broadcast-round arena position (the [`Pid`] table widens
+    /// at the inbox boundary). Copied into an arena once and then
+    /// invariant across consecutive broadcast rounds. Arena only.
+    static_senders: Vec<NodeId>,
     /// Whether this round's honest outboxes are *exactly* the broadcast
     /// pattern, every node included (set by the merge's scan) — the
     /// precondition of the table-driven scatter.
@@ -448,16 +458,44 @@ pub struct Simulation<'g, P: Protocol, A> {
     /// The indices where `byz_adjacent` holds, so the per-round sort loop
     /// walks only the nodes that need sorting.
     byz_adjacent_nodes: Vec<u32>,
+    /// Whether the active-set round schedule is live for this execution
+    /// (resolved once at construction: [`SimConfig::sparse_rounds`], the
+    /// unsharded arena pipeline, and a protocol declaring
+    /// [`Protocol::QUIESCENT_ON_SILENCE`]).
+    sparse_active: bool,
+    /// The nodes whose *live-arena* inbox is non-empty — exactly the
+    /// nodes the sparse schedule drives and drains this round — kept in
+    /// increasing-[`Pid`] order so the sparse scatter inherits the
+    /// sorted-as-scattered invariant. Swapped with `staged_actives`
+    /// alongside the arena double buffer. Sparse mode only.
+    arena_actives: Vec<u32>,
+    /// The staged arena's counterpart worklist: rebuilt by each sparse
+    /// delivery (first-touch pushes during the scatter), then pid-sorted
+    /// and swapped in. Doubles as the zero-only-what-was-touched list —
+    /// its entries are exactly the staged spans with non-zero length.
+    staged_actives: Vec<u32>,
+    /// `pid_rank[v]` = position of node `v` in `pid_order` — the sort key
+    /// restoring increasing-pid order to the first-touch worklist.
+    pid_rank: Vec<u32>,
+    /// Honest nodes in the execution (`n` minus the Byzantine count) —
+    /// the stop-condition counters' target.
+    honest_total: usize,
+    /// Honest nodes with an output so far; maintained by the sparse
+    /// schedule so the stop check never rescans all `n` nodes.
+    decided_count: usize,
+    /// Honest halted nodes so far; counterpart of `decided_count`.
+    halted_count: usize,
     decided_round: Vec<Option<u64>>,
     halted: Vec<bool>,
     metrics: Metrics,
     round: u64,
 }
 
-/// A message routed to its destination shard: pre-stamped sender identity,
-/// destination node, and the sender's counting-sort rank there.
+/// A message routed to its destination shard: dense sender node id (the
+/// [`Pid`] table widens it at the inbox boundary), destination node, and
+/// the sender's counting-sort rank there.
 struct Routed<M> {
-    sender: Pid,
+    sender: NodeId,
     to: NodeId,
     rank: u32,
     msg: M,
@@ -533,6 +571,30 @@ where
         let arena_active = licensed && config.layout == InboxLayout::Arena;
         let fused = licensed && !arena_active;
         let pid_order: Vec<u32> = pid_index.nodes_by_pid().map(|node| node.0).collect();
+        // The active-set schedule needs the unsharded arena (its worklist
+        // tracks arena spans) and a protocol promising that silence is a
+        // no-op; anything else silently keeps the dense oracle schedule.
+        let sparse_active = config.sparse_rounds
+            && arena_active
+            && !config.sharded_merge
+            && P::QUIESCENT_ON_SILENCE;
+        let honest_total = is_byzantine.iter().filter(|b| !**b).count();
+        // Round 1 drives everyone (inboxes start empty by definition), so
+        // the initial worklist is the full pid-ordered node set.
+        let arena_actives = if sparse_active {
+            pid_order.clone()
+        } else {
+            Vec::new()
+        };
+        let pid_rank: Vec<u32> = if sparse_active {
+            let mut rank = vec![0u32; n];
+            for (r, &v) in pid_order.iter().enumerate() {
+                rank[v as usize] = r as u32;
+            }
+            rank
+        } else {
+            Vec::new()
+        };
         let byz_adjacent: Vec<bool> = (0..n)
             .map(|v| {
                 graph
@@ -615,7 +677,7 @@ where
         let (bcast_pos, bcast_lens, static_senders) = if arena_active {
             let mut cursor = deg_offsets.clone();
             let mut pos_table = vec![0u32; bcast_slots.len()];
-            let mut slot_senders = vec![Pid(0); slot_total];
+            let mut slot_senders = vec![NodeId(0); slot_total];
             for node in pid_index.nodes_by_pid() {
                 let u = node.index();
                 let targets = delivery_map.targets_of(u);
@@ -626,7 +688,7 @@ where
                     let pos = cursor[v];
                     cursor[v] += 1;
                     pos_table[base + i] = pos;
-                    slot_senders[pos as usize] = pids[u];
+                    slot_senders[pos as usize] = NodeId(u as u32);
                 }
             }
             let lens: Vec<u32> = (0..n).map(|v| cursor[v] - deg_offsets[v]).collect();
@@ -695,6 +757,13 @@ where
             pid_order,
             byz_adjacent,
             byz_adjacent_nodes,
+            sparse_active,
+            arena_actives,
+            staged_actives: Vec::new(),
+            pid_rank,
+            honest_total,
+            decided_count: 0,
+            halted_count: 0,
             decided_round: vec![None; n],
             halted: vec![false; n],
             metrics: Metrics::new(n),
@@ -735,6 +804,8 @@ where
                 // queue lengths are the per-shard totals, and each shard
                 // counts its own queue per destination at delivery time.
                 self.merge_fused_sharded();
+            } else if self.sparse_active {
+                self.merge_arena_count_sparse();
             } else {
                 self.merge_arena_count();
             }
@@ -754,6 +825,13 @@ where
     /// is written, so the `parallel` feature may fan this out over
     /// threads; ordering is restored by [`Simulation::merge_outboxes`].
     fn honest_phase(&mut self) {
+        if self.sparse_active {
+            // The active set is usually far smaller than a worker
+            // pool's break-even chunk; the sparse schedule always runs
+            // serially (transcripts never depend on the pool anyway).
+            self.honest_phase_sparse();
+            return;
+        }
         #[cfg(feature = "parallel")]
         if self.config.parallel {
             self.honest_phase_parallel();
@@ -762,9 +840,44 @@ where
         self.honest_phase_serial();
     }
 
+    /// Sparse honest compute: drives only the nodes with pending inbox
+    /// traffic (plus everyone in round 1). A quiescent protocol's silent
+    /// nodes are no-ops by contract — no sends, no state change, no RNG
+    /// draw — so skipping them wholesale leaves the transcript
+    /// byte-identical to the dense sweep's. Decision/halt transitions
+    /// feed the stop-condition counters, so stopping never rescans `n`
+    /// nodes either.
+    fn honest_phase_sparse(&mut self) {
+        for &u in &self.arena_actives {
+            let u = u as usize;
+            if self.is_byzantine[u] || self.halted[u] {
+                continue;
+            }
+            let proto = self.protocols[u].as_mut().expect("honest protocol present");
+            let was_decided = self.decided_round[u].is_some();
+            drive_node(
+                self.round,
+                proto,
+                self.pids[u],
+                &self.neighbor_pids[u],
+                self.arena.inbox(u, &self.pids),
+                &mut self.rngs[u],
+                &mut self.outboxes[u],
+                &mut self.decided_round[u],
+                &mut self.halted[u],
+            );
+            if !was_decided && self.decided_round[u].is_some() {
+                self.decided_count += 1;
+            }
+            if self.halted[u] {
+                self.halted_count += 1;
+            }
+        }
+    }
+
     fn honest_phase_serial(&mut self) {
         let inboxes = if self.arena_active {
-            InboxesView::Arena(&self.arena)
+            InboxesView::Arena(&self.arena, &self.pids)
         } else {
             InboxesView::PerNode(&self.inboxes)
         };
@@ -799,7 +912,7 @@ where
             pids: &self.pids,
             neighbor_pids: &self.neighbor_pids,
             inboxes: if self.arena_active {
-                InboxesView::Arena(&self.arena)
+                InboxesView::Arena(&self.arena, &self.pids)
             } else {
                 InboxesView::PerNode(&self.inboxes)
             },
@@ -913,7 +1026,7 @@ where
             if outbox.is_empty() {
                 continue;
             }
-            let sender = self.pids[u];
+            let sender = NodeId(u as u32);
             let targets = self.delivery_map.targets_of(u);
             let count = outbox.len() as u64;
             let mut bits = 0u64;
@@ -987,12 +1100,67 @@ where
         }
     }
 
+    /// Sparse arena merge: [`Simulation::merge_arena_count`] restricted
+    /// to the active worklist — only driven nodes can hold outbox
+    /// traffic, so the metrics sums and the monotone-slot scan over the
+    /// worklist are exactly the full sweep's. The broadcast-table round
+    /// is never claimed (its precondition is *every* node broadcasting,
+    /// which a sparse round by definition is not chasing); the fast
+    /// degree-presized path carries the sparse steady state instead.
+    fn merge_arena_count_sparse(&mut self) {
+        let id_bits = self.config.id_bits;
+        let mut sent = 0u64;
+        let mut monotone = true;
+        for &u in &self.arena_actives {
+            let u = u as usize;
+            let outbox = &self.outboxes[u];
+            if outbox.is_empty() {
+                continue;
+            }
+            let count = outbox.len() as u64;
+            let mut bits = 0u64;
+            let mut max_bits = 0u64;
+            let mut last_slot = u32::MAX;
+            for &(slot, ref msg) in outbox.iter() {
+                monotone &= last_slot == u32::MAX || slot > last_slot;
+                last_slot = slot;
+                let size = msg.size_bits(id_bits);
+                bits += size;
+                max_bits = max_bits.max(size);
+            }
+            self.metrics.per_node[u].record_batch(count, bits, max_bits);
+            sent += count;
+        }
+        self.round_honest_messages = sent;
+        self.arena_fast_round = monotone;
+        self.arena_bcast_round = false;
+        if !monotone {
+            self.count_dests_sparse();
+        }
+    }
+
     /// The two-pass merge's count pass: tallies this round's honest
     /// messages per destination (one [`DeliveryMap`] load and one counter
     /// bump per message). Runs only when a round's shape exceeds the
     /// degree-presized bound.
     fn count_dests(&mut self) {
         for u in 0..self.graph.len() {
+            let outbox = &self.outboxes[u];
+            if outbox.is_empty() {
+                continue;
+            }
+            let targets = self.delivery_map.targets_of(u);
+            for &(slot, _) in outbox.iter() {
+                self.dest_counts[targets[slot as usize].to.index()] += 1;
+            }
+        }
+    }
+
+    /// The count pass over the active worklist only — silent nodes hold
+    /// no outbox traffic, so the tallies equal [`Simulation::count_dests`]'s.
+    fn count_dests_sparse(&mut self) {
+        for &u in &self.arena_actives {
+            let u = u as usize;
             let outbox = &self.outboxes[u];
             if outbox.is_empty() {
                 continue;
@@ -1056,6 +1224,143 @@ where
             self.count_dests();
         }
         self.deliver_arena_two_pass();
+    }
+
+    /// Arena delivery under the active-set schedule. The fast path is
+    /// [`Simulation::deliver_arena_fast`] restricted to the worklists:
+    /// only previously-touched spans are re-zeroed, only active senders
+    /// are drained, and the next round's worklist is collected by
+    /// first-touch pushes during the scatter — so delivery cost scales
+    /// with the round's traffic, not with `n`. Oversized rounds fall
+    /// back to the exact (dense) two-pass, after which the worklist is
+    /// rebuilt by a full span scan — the O(n) cost only where the dense
+    /// pipeline already pays it.
+    fn deliver_arena_sparse(&mut self) {
+        if self.arena_fast_round && self.byz_traffic_fits() {
+            self.deliver_arena_fast_sparse();
+        } else {
+            if self.arena_fast_round {
+                // Monotone round, oversized Byzantine burst: the count
+                // pass was skipped at merge time — run it now.
+                self.count_dests_sparse();
+            }
+            self.deliver_arena_two_pass();
+            self.rebuild_staged_actives();
+        }
+        // Restore increasing-pid order: the list doubles as next round's
+        // sender visitation order, which is what keeps every inbox
+        // sorted as scattered.
+        let pid_rank = &self.pid_rank;
+        self.staged_actives
+            .sort_unstable_by_key(|&v| pid_rank[v as usize]);
+    }
+
+    /// The sparse fast scatter; see [`Simulation::deliver_arena_sparse`].
+    fn deliver_arena_fast_sparse(&mut self) {
+        let arena = &mut self.arena_staged;
+        arena.senders_static = false;
+        arena.lens_full = false;
+        if arena.msgs.len() < self.graph.degree_sum() {
+            if let Some(filler) = self
+                .outboxes
+                .iter()
+                .find_map(|ob| ob.first().map(|(_, m)| m.clone()))
+                .or_else(|| self.byz_outgoing.first().map(|(_, _, m)| m.clone()))
+            {
+                arena.grow_to(self.graph.degree_sum(), filler);
+            } else {
+                // A silent round before any traffic existed: nothing to
+                // place; the previously-touched spans still need
+                // emptying.
+                for &v in &self.staged_actives {
+                    arena.lens[v as usize] = 0;
+                }
+                self.staged_actives.clear();
+                return;
+            }
+        }
+        if !arena.offsets_static {
+            // A two-pass round repacked the offsets; restore the static
+            // degree prefix.
+            arena.offsets.copy_from_slice(&self.deg_offsets);
+            arena.offsets_static = true;
+        }
+        // Every span outside the worklist is already zero-length — the
+        // worklist invariant — so only touched spans are re-zeroed.
+        for &v in &self.staged_actives {
+            arena.lens[v as usize] = 0;
+        }
+        self.staged_actives.clear();
+        // Scatter the active senders in increasing-pid order (the
+        // worklist's maintained order), collecting next round's worklist
+        // from the first touch of each destination span.
+        let no_byz = self.byz_adjacent_nodes.is_empty();
+        for &u in &self.arena_actives {
+            let u = u as usize;
+            let outbox = &mut self.outboxes[u];
+            if outbox.is_empty() {
+                continue;
+            }
+            let sender = NodeId(u as u32);
+            let targets = self.delivery_map.targets_of(u);
+            if no_byz {
+                for (slot, msg) in outbox.drain(..) {
+                    let target = targets[slot as usize];
+                    let v = target.to.index();
+                    let len = arena.lens[v];
+                    if len == 0 {
+                        self.staged_actives.push(v as u32);
+                    }
+                    arena.lens[v] = len + 1;
+                    let pos = (arena.offsets[v] + len) as usize;
+                    arena.senders[pos] = sender;
+                    arena.msgs[pos] = msg;
+                }
+            } else {
+                for (slot, msg) in outbox.drain(..) {
+                    let target = targets[slot as usize];
+                    let v = target.to.index();
+                    let len = arena.lens[v];
+                    if len == 0 {
+                        self.staged_actives.push(v as u32);
+                    }
+                    arena.lens[v] = len + 1;
+                    let pos = (arena.offsets[v] + len) as usize;
+                    arena.senders[pos] = sender;
+                    arena.msgs[pos] = msg;
+                    if self.byz_adjacent[v] {
+                        arena.ranks[pos] = target.rank;
+                    }
+                }
+            }
+        }
+        // ...then the Byzantine traffic in emission order.
+        for ((from, to, msg), rank) in self.byz_outgoing.drain(..).zip(self.byz_ranks.drain(..)) {
+            let v = to.index();
+            let len = arena.lens[v];
+            if len == 0 {
+                self.staged_actives.push(v as u32);
+            }
+            arena.lens[v] = len + 1;
+            let pos = (arena.offsets[v] + len) as usize;
+            arena.senders[pos] = from;
+            arena.msgs[pos] = msg;
+            arena.ranks[pos] = rank;
+        }
+        self.sort_byz_adjacent_spans();
+    }
+
+    /// Rebuilds the staged worklist from scratch after an exact two-pass
+    /// round (which lays out *every* span, so first-touch collection was
+    /// not available).
+    fn rebuild_staged_actives(&mut self) {
+        self.staged_actives.clear();
+        let arena = &self.arena_staged;
+        for v in 0..self.graph.len() {
+            if arena.lens[v] > 0 {
+                self.staged_actives.push(v as u32);
+            }
+        }
     }
 
     /// The broadcast-round arena scatter; see
@@ -1143,7 +1448,7 @@ where
             if outbox.is_empty() {
                 continue;
             }
-            let sender = self.pids[u];
+            let sender = NodeId(u as u32);
             let targets = self.delivery_map.targets_of(u);
             if no_byz {
                 for (slot, msg) in outbox.drain(..) {
@@ -1176,7 +1481,7 @@ where
             let len = arena.lens[v];
             arena.lens[v] = len + 1;
             let pos = (arena.offsets[v] + len) as usize;
-            arena.senders[pos] = self.pids[from.index()];
+            arena.senders[pos] = from;
             arena.msgs[pos] = msg;
             arena.ranks[pos] = rank;
         }
@@ -1226,7 +1531,7 @@ where
             if outbox.is_empty() {
                 continue;
             }
-            let sender = self.pids[u];
+            let sender = NodeId(u as u32);
             let targets = self.delivery_map.targets_of(u);
             for (slot, msg) in outbox.drain(..) {
                 let target = targets[slot as usize];
@@ -1251,7 +1556,7 @@ where
             let pos = self.dest_counts[v];
             self.dest_counts[v] = pos + 1;
             let pos = pos as usize;
-            arena.senders[pos] = self.pids[from.index()];
+            arena.senders[pos] = from;
             arena.msgs[pos] = msg;
             arena.ranks[pos] = rank;
         }
@@ -1296,7 +1601,7 @@ where
         let num_shards = self.shard_queues.len();
         for ((from, to, msg), rank) in self.byz_outgoing.drain(..).zip(self.byz_ranks.drain(..)) {
             self.shard_queues[shard_of(to.index(), n, num_shards)].push(Routed {
-                sender: self.pids[from.index()],
+                sender: from,
                 to,
                 rank,
                 msg,
@@ -1384,7 +1689,7 @@ where
             honest_states: &self.protocols,
             honest_outgoing: &self.honest_outgoing,
             inboxes: if self.arena_active {
-                InboxesView::Arena(&self.arena)
+                InboxesView::Arena(&self.arena, &self.pids)
             } else {
                 InboxesView::PerNode(&self.inboxes)
             },
@@ -1428,6 +1733,8 @@ where
             // merge; place, scatter, and sort into the staged arena.
             if self.config.sharded_merge {
                 self.deliver_arena_sharded();
+            } else if self.sparse_active {
+                self.deliver_arena_sparse();
             } else {
                 self.deliver_arena();
             }
@@ -1448,6 +1755,10 @@ where
         }
         if self.arena_active {
             std::mem::swap(&mut self.arena, &mut self.arena_staged);
+            if self.sparse_active {
+                // The worklists travel with their buffers.
+                std::mem::swap(&mut self.arena_actives, &mut self.staged_actives);
+            }
         } else {
             std::mem::swap(&mut self.inboxes, &mut self.staged);
         }
@@ -1456,12 +1767,18 @@ where
             let n = self.graph.len();
             self.metrics.messages_per_round.push(message_count);
             let byzantine_messages = message_count - honest_message_count;
-            let decided = (0..n)
-                .filter(|&u| !self.is_byzantine[u] && self.decided_round[u].is_some())
-                .count();
-            let halted = (0..n)
-                .filter(|&u| !self.is_byzantine[u] && self.halted[u])
-                .count();
+            let (decided, halted) = if self.sparse_active {
+                (self.decided_count, self.halted_count)
+            } else {
+                (
+                    (0..n)
+                        .filter(|&u| !self.is_byzantine[u] && self.decided_round[u].is_some())
+                        .count(),
+                    (0..n)
+                        .filter(|&u| !self.is_byzantine[u] && self.halted[u])
+                        .count(),
+                )
+            };
             self.metrics.round_trace.push(crate::trace::RoundTrace {
                 round: self.round,
                 honest_messages: honest_message_count,
@@ -1593,7 +1910,7 @@ where
             .zip(self.honest_ranks.drain(..))
         {
             self.shard_queues[shard_of(to.index(), n, num_shards)].push(Routed {
-                sender: self.pids[from.index()],
+                sender: from,
                 to,
                 rank,
                 msg,
@@ -1601,7 +1918,7 @@ where
         }
         for ((from, to, msg), rank) in self.byz_outgoing.drain(..).zip(self.byz_ranks.drain(..)) {
             self.shard_queues[shard_of(to.index(), n, num_shards)].push(Routed {
-                sender: self.pids[from.index()],
+                sender: from,
                 to,
                 rank,
                 msg,
@@ -1618,7 +1935,7 @@ where
         let num_shards = self.shard_queues.len();
         for ((from, to, msg), rank) in self.byz_outgoing.drain(..).zip(self.byz_ranks.drain(..)) {
             self.shard_queues[shard_of(to.index(), n, num_shards)].push(Routed {
-                sender: self.pids[from.index()],
+                sender: from,
                 to,
                 rank,
                 msg,
@@ -1637,6 +1954,7 @@ where
             n: self.graph.len(),
             shards: self.shard_queues.len(),
             senders: &self.sender_ranks,
+            pids: &self.pids,
             presorted: if self.fused {
                 Some(&self.byz_adjacent)
             } else {
@@ -1663,7 +1981,7 @@ where
     /// by content, so views are comparable across physical layouts.
     pub fn inbox(&self, u: NodeId) -> Inbox<'_, P::Message> {
         if self.arena_active {
-            self.arena.inbox(u.index())
+            self.arena.inbox(u.index(), &self.pids)
         } else {
             Inbox::Packed(&self.inboxes[u.index()])
         }
@@ -1818,19 +2136,46 @@ where
         self.deliver();
     }
 
+    /// Whether the configured stop condition holds. Only the census the
+    /// condition actually needs is computed; under the sparse schedule
+    /// the maintained counters answer in O(1), and the dense scans
+    /// short-circuit at the first still-running node.
     fn stop_reason(&self) -> Option<StopReason> {
-        let all_halted = (0..self.graph.len())
-            .filter(|&u| !self.is_byzantine[u])
-            .all(|u| self.halted[u]);
-        let all_decided = (0..self.graph.len())
-            .filter(|&u| !self.is_byzantine[u])
-            .all(|u| self.decided_round[u].is_some());
+        let all_halted = || {
+            if self.sparse_active {
+                self.halted_count == self.honest_total
+            } else {
+                (0..self.graph.len())
+                    .filter(|&u| !self.is_byzantine[u])
+                    .all(|u| self.halted[u])
+            }
+        };
+        let all_decided = || {
+            if self.sparse_active {
+                self.decided_count == self.honest_total
+            } else {
+                (0..self.graph.len())
+                    .filter(|&u| !self.is_byzantine[u])
+                    .all(|u| self.decided_round[u].is_some())
+            }
+        };
         match self.config.stop_when {
-            StopWhen::AllHonestHalted if all_halted => Some(StopReason::AllHalted),
-            StopWhen::AllHonestDecided if all_decided => Some(StopReason::AllDecided),
+            StopWhen::AllHonestHalted if all_halted() => Some(StopReason::AllHalted),
+            StopWhen::AllHonestDecided if all_decided() => Some(StopReason::AllDecided),
             _ if self.round >= self.config.max_rounds => Some(StopReason::MaxRounds),
             _ => None,
         }
+    }
+
+    /// Whether the active-set (sparse) round schedule is driving this
+    /// execution: [`SimConfig::sparse_rounds`] was requested **and** the
+    /// license held — the protocol declares
+    /// [`Protocol::QUIESCENT_ON_SILENCE`] and the arena fast path is
+    /// live. Lets tests and benchmark harnesses prove the schedule they
+    /// measured is the one that actually ran rather than a silent
+    /// fallback to the dense oracle.
+    pub fn sparse_schedule_active(&self) -> bool {
+        self.sparse_active
     }
 
     /// Runs rounds until the configured stop condition (or the round
@@ -1950,7 +2295,7 @@ fn finish_inbox<M>(
 /// envelope is ever moved. `ranks` is read-only (keys in staging order);
 /// `counts` must arrive zeroed and is re-zeroed before returning.
 fn finish_inbox_soa<M>(
-    senders: &mut [Pid],
+    senders: &mut [NodeId],
     msgs: &mut [M],
     ranks: &[u32],
     pos: &mut Vec<u32>,
@@ -2013,7 +2358,7 @@ struct ArenaLane<'a, M> {
     offsets: &'a mut [u32],
     /// Per-node span lengths, aligned with `offsets`.
     lens: &'a mut [u32],
-    senders: &'a mut [Pid],
+    senders: &'a mut [NodeId],
     msgs: &'a mut [M],
     ranks: &'a mut [u32],
     cursors: &'a mut [u32],
@@ -2162,6 +2507,9 @@ struct ShardGeometry<'a> {
     n: usize,
     shards: usize,
     senders: &'a SenderRanks,
+    /// The [`Pid`] of each node — widens [`Routed::sender`]'s dense id at
+    /// the staged-envelope boundary.
+    pids: &'a [Pid],
     /// `Some(byz_adjacent)` when the queues were filled by the fused merge
     /// in canonical pid order: only flagged inboxes need rank tags and a
     /// counting sort. `None` (the flat partition, node order) sorts all.
@@ -2254,7 +2602,7 @@ fn delivery_lane_leaf<M>(geometry: ShardGeometry<'_>, lane: DeliveryLane<'_, M>)
             for routed in queue.drain(..) {
                 let i = routed.to.index() - lane.base_node;
                 lane.staged[i].push(Envelope {
-                    sender: routed.sender,
+                    sender: geometry.pids[routed.sender.index()],
                     msg: routed.msg,
                 });
                 lane.ranks[i].push(routed.rank);
@@ -2265,7 +2613,7 @@ fn delivery_lane_leaf<M>(geometry: ShardGeometry<'_>, lane: DeliveryLane<'_, M>)
                 let v = routed.to.index();
                 let i = v - lane.base_node;
                 lane.staged[i].push(Envelope {
-                    sender: routed.sender,
+                    sender: geometry.pids[routed.sender.index()],
                     msg: routed.msg,
                 });
                 if byz_adjacent[v] {

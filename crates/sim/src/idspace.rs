@@ -108,8 +108,10 @@ impl PidIndex {
 /// lines per delivery lookup and nothing per round.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SenderRanks {
-    /// `offsets[v]..offsets[v + 1]` spans `v`'s senders in `senders`.
-    offsets: Vec<usize>,
+    /// `offsets[v]..offsets[v + 1]` spans `v`'s senders in `senders` —
+    /// `u32` offsets, since the distinct-sender total is bounded by the
+    /// degree sum.
+    offsets: Vec<u32>,
     /// Distinct neighbour pids of every node, sorted per node.
     senders: Vec<Pid>,
 }
@@ -124,9 +126,13 @@ impl SenderRanks {
     pub fn new(graph: &Graph, pids: &[Pid]) -> Self {
         let n = graph.len();
         assert_eq!(pids.len(), n, "one pid per graph node");
+        assert!(
+            u32::try_from(graph.degree_sum()).is_ok(),
+            "sender total exceeds the u32 rank plane"
+        );
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0);
-        let mut senders = Vec::new();
+        let mut senders = Vec::with_capacity(graph.degree_sum());
         let mut scratch: Vec<Pid> = Vec::new();
         for v in 0..n {
             scratch.clear();
@@ -134,7 +140,7 @@ impl SenderRanks {
             scratch.sort_unstable();
             scratch.dedup();
             senders.extend_from_slice(&scratch);
-            offsets.push(senders.len());
+            offsets.push(senders.len() as u32);
         }
         SenderRanks { offsets, senders }
     }
@@ -142,7 +148,7 @@ impl SenderRanks {
     /// The distinct identities that may appear as senders in `v`'s inbox,
     /// sorted.
     pub fn senders(&self, v: NodeId) -> &[Pid] {
-        &self.senders[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+        &self.senders[self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize]
     }
 
     /// The rank of `sender` in `v`'s inbox order, if `sender` is a
@@ -156,13 +162,13 @@ impl SenderRanks {
 
     /// Number of distinct potential senders of `v`.
     pub fn sender_count(&self, v: NodeId) -> usize {
-        self.offsets[v.index() + 1] - self.offsets[v.index()]
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
     }
 
     /// Raw CSR offset of node index `v` (valid for `v ⩽ n`), for engines
     /// that keep flat per-sender scratch aligned with this table.
     pub fn offset(&self, v: usize) -> usize {
-        self.offsets[v]
+        self.offsets[v] as usize
     }
 
     /// Total number of (destination, distinct sender) pairs — the length a

@@ -63,6 +63,7 @@ pub mod message;
 pub mod metrics;
 pub mod pool;
 pub mod protocol;
+pub mod rss;
 pub mod trace;
 
 pub use adversary::{Adversary, ByzantineContext, FullInfoView, NullAdversary};
@@ -74,6 +75,7 @@ pub use idspace::{Pid, PidIndex, SenderRanks};
 pub use message::{DeliveryMap, Envelope, EnvelopeRef, Inbox, InboxIter, MessageSize, SlotTarget};
 pub use metrics::{Metrics, NodeMetrics};
 pub use protocol::{NodeContext, Protocol};
+pub use rss::peak_rss_kb;
 pub use trace::{validate_trace, RoundTrace};
 
 /// Convenient glob-import surface.

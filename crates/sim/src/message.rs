@@ -74,10 +74,16 @@ pub struct EnvelopeRef<'a, M> {
 pub enum Inbox<'a, M> {
     /// Per-node packed envelopes (the legacy per-node layout).
     Packed(&'a [Envelope<M>]),
-    /// Arena layout: parallel sender/payload slices of equal length.
+    /// Arena layout: parallel sender/payload slices of equal length. The
+    /// arena stores senders as dense `u32` node indices (half the plane
+    /// bytes of a `Pid`); the view carries the execution's pid table and
+    /// widens to the authenticated [`Pid`] only at the access boundary.
     Split {
-        /// Authenticated sender of each message, aligned with `msgs`.
-        senders: &'a [Pid],
+        /// Dense node index of each message's sender, aligned with `msgs`.
+        senders: &'a [NodeId],
+        /// The execution's node-indexed pid table (`pids[node]` is the
+        /// authenticated identity of graph node `node`).
+        pids: &'a [Pid],
         /// Payloads, aligned with `senders`.
         msgs: &'a [M],
     },
@@ -99,6 +105,7 @@ impl<'a, M> Inbox<'a, M> {
     pub fn empty() -> Self {
         Inbox::Split {
             senders: &[],
+            pids: &[],
             msgs: &[],
         }
     }
@@ -127,8 +134,12 @@ impl<'a, M> Inbox<'a, M> {
                 sender: envelopes[i].sender,
                 msg: &envelopes[i].msg,
             },
-            Inbox::Split { senders, msgs } => EnvelopeRef {
-                sender: senders[i],
+            Inbox::Split {
+                senders,
+                pids,
+                msgs,
+            } => EnvelopeRef {
+                sender: pids[senders[i].index()],
                 msg: &msgs[i],
             },
         }
@@ -266,8 +277,10 @@ pub(crate) struct InboxArena<M> {
     /// Whether `lens` currently equals the in-degree table (the
     /// full-round invariant).
     pub(crate) lens_full: bool,
-    /// Authenticated sender of every message, arena-indexed.
-    pub(crate) senders: Vec<Pid>,
+    /// Dense node index of every message's sender, arena-indexed — four
+    /// bytes per message instead of a `Pid`'s eight; the pid table widens
+    /// it back at the [`Inbox`] view boundary.
+    pub(crate) senders: Vec<NodeId>,
     /// Payload of every message, arena-indexed. The vector's *length* is
     /// the high-water total (stale bytes outside the live spans are
     /// retained as warm capacity and never exposed).
@@ -300,11 +313,12 @@ impl<M> InboxArena<M> {
         }
     }
 
-    /// Node `v`'s inbox span as a layout-independent view. Empty spans
-    /// short-circuit: with the static degree offsets the arrays may not
-    /// even cover an empty node's nominal span yet (e.g. before the first
-    /// message ever flowed).
-    pub(crate) fn inbox(&self, v: usize) -> Inbox<'_, M> {
+    /// Node `v`'s inbox span as a layout-independent view (`pids` is the
+    /// execution's node-indexed pid table the view widens senders
+    /// through). Empty spans short-circuit: with the static degree offsets
+    /// the arrays may not even cover an empty node's nominal span yet
+    /// (e.g. before the first message ever flowed).
+    pub(crate) fn inbox<'a>(&'a self, v: usize, pids: &'a [Pid]) -> Inbox<'a, M> {
         let len = self.lens[v] as usize;
         if len == 0 {
             return Inbox::empty();
@@ -313,6 +327,7 @@ impl<M> InboxArena<M> {
         let o1 = o0 + len;
         Inbox::Split {
             senders: &self.senders[o0..o1],
+            pids,
             msgs: &self.msgs[o0..o1],
         }
     }
@@ -326,7 +341,7 @@ impl<M> InboxArena<M> {
     where
         M: Clone,
     {
-        self.senders.resize(total, Pid(0));
+        self.senders.resize(total, NodeId(0));
         self.ranks.resize(total, 0);
         self.msgs.resize(total, filler);
     }
@@ -338,8 +353,10 @@ impl<M> InboxArena<M> {
 pub(crate) enum InboxesView<'a, M> {
     /// Legacy layout: one `Vec<Envelope>` per node.
     PerNode(&'a [Vec<Envelope<M>>]),
-    /// Arena layout: spans of the contiguous SoA arena.
-    Arena(&'a InboxArena<M>),
+    /// Arena layout: spans of the contiguous SoA arena, plus the
+    /// execution's pid table to widen dense sender indices at the view
+    /// boundary.
+    Arena(&'a InboxArena<M>, &'a [Pid]),
 }
 
 impl<M> Clone for InboxesView<'_, M> {
@@ -355,7 +372,7 @@ impl<'a, M> InboxesView<'a, M> {
     pub(crate) fn inbox(&self, v: usize) -> Inbox<'a, M> {
         match *self {
             InboxesView::PerNode(buffers) => Inbox::Packed(&buffers[v]),
-            InboxesView::Arena(arena) => arena.inbox(v),
+            InboxesView::Arena(arena, pids) => arena.inbox(v, pids),
         }
     }
 }
@@ -386,8 +403,10 @@ pub struct SlotTarget {
 /// adjacency structure (one entry per directed edge, multiplicity kept).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DeliveryMap {
-    /// `offsets[u]..offsets[u + 1]` spans `u`'s slots in `targets`.
-    offsets: Vec<usize>,
+    /// `offsets[u]..offsets[u + 1]` spans `u`'s slots in `targets` — `u32`
+    /// offsets (the slot total is the degree sum, far below `u32::MAX` for
+    /// any simulatable graph), halving the footprint of this plane.
+    offsets: Vec<u32>,
     /// Per-slot routing, aligned with each node's sorted neighbour list.
     targets: Vec<SlotTarget>,
 }
@@ -408,10 +427,14 @@ impl DeliveryMap {
     pub fn build(graph: &Graph, pids: &[Pid], ranks: &SenderRanks) -> (Vec<Vec<Pid>>, DeliveryMap) {
         let n = graph.len();
         assert_eq!(pids.len(), n, "one pid per graph node");
+        assert!(
+            u32::try_from(graph.degree_sum()).is_ok(),
+            "slot total exceeds the u32 delivery plane"
+        );
         let mut neighbor_pids: Vec<Vec<Pid>> = Vec::with_capacity(n);
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0);
-        let mut targets = Vec::new();
+        let mut targets = Vec::with_capacity(graph.degree_sum());
         let mut scratch: Vec<(Pid, NodeId)> = Vec::new();
         for u in 0..n {
             scratch.clear();
@@ -430,7 +453,7 @@ impl DeliveryMap {
                     .expect("undirected graph: u is a neighbor of w");
                 targets.push(SlotTarget { to: w, rank });
             }
-            offsets.push(targets.len());
+            offsets.push(targets.len() as u32);
         }
         (neighbor_pids, DeliveryMap { offsets, targets })
     }
@@ -438,7 +461,7 @@ impl DeliveryMap {
     /// The routing of every outbox slot of node `u`, aligned with `u`'s
     /// sorted neighbour pid list.
     pub fn targets_of(&self, u: usize) -> &[SlotTarget] {
-        &self.targets[self.offsets[u]..self.offsets[u + 1]]
+        &self.targets[self.offsets[u] as usize..self.offsets[u + 1] as usize]
     }
 
     /// Total number of slots (directed edges) in the map.

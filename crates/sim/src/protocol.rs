@@ -23,6 +23,24 @@ pub trait Protocol {
     /// The value the node irrevocably decides.
     type Output: Clone;
 
+    /// Declares the protocol **quiescent on silence**: in every round
+    /// after the first, a node whose inbox is empty does nothing —
+    /// [`Protocol::on_round`] sends no messages, changes no state, draws
+    /// no randomness, and flips neither [`Protocol::output`] nor
+    /// [`Protocol::has_halted`]. Event-driven protocols (token passing,
+    /// frontier floods, convergecasts) satisfy this; anything that counts
+    /// silent rounds (stability timers) or sends unconditionally does
+    /// not.
+    ///
+    /// Declaring it licenses [`crate::SimConfig::sparse_rounds`]: the
+    /// engine keeps an active set of nodes with pending traffic and
+    /// skips the rest of the network entirely, making round cost scale
+    /// with traffic instead of `n`. The declaration is a *promise* — the
+    /// engine does not verify it, but the determinism suite proves
+    /// sparse and dense transcripts byte-identical for the shipped
+    /// protocols. Defaults to `false` (the dense schedule).
+    const QUIESCENT_ON_SILENCE: bool = false;
+
     /// Executes one synchronous round.
     fn on_round(&mut self, ctx: &mut NodeContext<'_, Self::Message>);
 

@@ -86,12 +86,8 @@ impl Protocol for JitterFlood {
 /// exact paths.
 struct NoisyEcho;
 
-impl Adversary<JitterFlood> for NoisyEcho {
-    fn on_round(
-        &mut self,
-        view: &FullInfoView<'_, JitterFlood>,
-        ctx: &mut ByzantineContext<'_, Pid>,
-    ) {
+impl<P: Protocol<Message = Pid>> Adversary<P> for NoisyEcho {
+    fn on_round(&mut self, view: &FullInfoView<'_, P>, ctx: &mut ByzantineContext<'_, Pid>) {
         if view.round() % 3 == 0 {
             return;
         }
@@ -244,6 +240,186 @@ fn mode_matrix_is_pool_size_invariant() {
             }
         });
     }
+}
+
+/// An event-driven relay declaring [`Protocol::QUIESCENT_ON_SILENCE`]:
+/// outside round 1 it acts **only** when its inbox holds traffic —
+/// otherwise no sends, no state change, no RNG draw. Sources seed a
+/// TTL-stamped wave in round 1; receivers fold randomness into their
+/// state, decrement the TTL, and relay, so activity decays between the
+/// adversary's injections and the active set genuinely shrinks. The TTL
+/// is clamped so the adversary's random 64-bit fakes cannot flood the
+/// network forever.
+#[derive(Debug, Clone)]
+struct FrontierRelay {
+    source: bool,
+    heard: u64,
+    noise: u64,
+}
+
+impl Protocol for FrontierRelay {
+    type Message = Pid;
+    type Output = u64;
+    const QUIESCENT_ON_SILENCE: bool = true;
+
+    fn on_round(&mut self, ctx: &mut NodeContext<'_, Pid>) {
+        if ctx.round() == 1 {
+            if self.source {
+                ctx.broadcast(Pid(6));
+            }
+            return;
+        }
+        if ctx.inbox().is_empty() {
+            return;
+        }
+        let ttl = ctx
+            .inbox()
+            .iter()
+            .map(|e| e.msg.0)
+            .max()
+            .expect("non-empty inbox")
+            .min(6);
+        self.heard += ctx.inbox().len() as u64;
+        self.noise = self
+            .noise
+            .wrapping_mul(31)
+            .wrapping_add(rand::Rng::gen::<u64>(ctx.rng()));
+        if ttl > 0 {
+            ctx.broadcast(Pid(ttl - 1));
+        }
+    }
+
+    fn output(&self) -> Option<u64> {
+        (self.heard > 0).then_some(self.heard ^ self.noise)
+    }
+}
+
+fn run_relay(g: &Graph, byz: &[NodeId], seed: u64, sparse: bool, parallel: bool) -> SimReport<u64> {
+    let mut sim = Simulation::new(
+        g,
+        byz,
+        |u, init| FrontierRelay {
+            source: u.index() % 17 == 0,
+            heard: 0,
+            noise: init.pid.0,
+        },
+        NoisyEcho,
+        SimConfig {
+            seed,
+            max_rounds: 60,
+            stop_when: StopWhen::MaxRoundsOnly,
+            record_round_stats: true,
+            parallel,
+            sparse_rounds: sparse,
+            ..SimConfig::default()
+        },
+    );
+    assert_eq!(
+        sim.sparse_schedule_active(),
+        sparse,
+        "the schedule under test must actually engage (no silent fallback)"
+    );
+    sim.run()
+}
+
+/// The active-set schedule against the dense oracle: byte-identical
+/// reports (including the per-round decided/halted census, which sparse
+/// mode maintains by counters) with Byzantine interference driving both
+/// the sparse fast path and the two-pass overflow fallback — across
+/// worker-pool sizes 1 and 4, where the sparse schedule must stay
+/// serial-equivalent whatever the `parallel` flag says.
+#[test]
+fn sparse_schedule_matches_dense_oracle() {
+    for seed in [3u64, 0xBEEF] {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = hnd(192, 8, &mut rng).unwrap();
+        let byz = [NodeId(2), NodeId(90)];
+        let dense = run_relay(&g, &byz, seed, false, false);
+        let sparse = run_relay(&g, &byz, seed, true, false);
+        assert_identical(&dense, &sparse);
+        // The wave genuinely dies out between injections, so the sparse
+        // schedule had real silent stretches to skip.
+        assert!(dense.rounds == 60, "fixed-budget run");
+        for threads in [1usize, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("build test pool");
+            pool.install(|| {
+                let pooled = run_relay(&g, &byz, seed, true, true);
+                assert_identical(&dense, &pooled);
+            });
+        }
+    }
+}
+
+/// A quiescent relay that halts after its one action, proving the sparse
+/// schedule's counter-driven stop condition fires on the same round as
+/// the dense scan's.
+#[derive(Debug, Clone)]
+struct RelayOnceThenHalt {
+    source: bool,
+    relayed: bool,
+}
+
+impl Protocol for RelayOnceThenHalt {
+    type Message = Pid;
+    type Output = u64;
+    const QUIESCENT_ON_SILENCE: bool = true;
+
+    fn on_round(&mut self, ctx: &mut NodeContext<'_, Pid>) {
+        if self.relayed {
+            return;
+        }
+        if ctx.round() == 1 {
+            if self.source {
+                ctx.broadcast(Pid(1));
+                self.relayed = true;
+            }
+        } else if !ctx.inbox().is_empty() {
+            ctx.broadcast(Pid(1));
+            self.relayed = true;
+        }
+    }
+
+    fn output(&self) -> Option<u64> {
+        self.relayed.then_some(1)
+    }
+
+    fn has_halted(&self) -> bool {
+        self.relayed
+    }
+}
+
+#[test]
+fn sparse_stop_condition_matches_dense() {
+    let g = cycle(33).unwrap();
+    let byz = [NodeId(5)];
+    let run_wave = |sparse: bool| {
+        let mut sim = Simulation::new(
+            &g,
+            &byz,
+            |u, _| RelayOnceThenHalt {
+                source: u.index() == 0,
+                relayed: false,
+            },
+            NullAdversary,
+            SimConfig {
+                seed: 11,
+                sparse_rounds: sparse,
+                ..SimConfig::default()
+            },
+        );
+        assert_eq!(sim.sparse_schedule_active(), sparse);
+        sim.run()
+    };
+    let dense = run_wave(false);
+    let sparse = run_wave(true);
+    assert_identical(&dense, &sparse);
+    assert_eq!(dense.stop_reason, StopReason::AllHalted);
+    // The wave must actually traverse the cycle (the Byzantine node
+    // blocks one direction, so the far side is reached the long way).
+    assert!(dense.rounds > 16, "wave crossed the cycle");
 }
 
 #[test]

@@ -1,0 +1,125 @@
+//! Large-`n` smoke test for the scale tier: builds an H(n, 8) random
+//! regular graph at n = 65536 through the streaming CSR path, runs a few
+//! rounds through the compact-plane engine in both the dense and the
+//! active-set schedule, and holds the process's peak RSS under a budget.
+//!
+//! Ignored by default (it is a memory test, and peak RSS is a
+//! process-global high-water mark that other tests in the same process
+//! would pollute). CI runs it in its own process:
+//!
+//! ```text
+//! cargo test --release -p bcount-sim --test scale_smoke -- --ignored
+//! ```
+//!
+//! The RSS ceiling is `BCOUNT_SCALE_RSS_BUDGET_KB` (kilobytes), default
+//! 2 GiB — generous against the ~60 MB the run actually needs, but tight
+//! enough to catch a return of the `Vec<Vec<_>>` construction spike or a
+//! widened message plane. On platforms without `/proc/self/status` the
+//! ceiling check degrades to a no-op.
+
+use bcount_graph::gen::hnd;
+use bcount_graph::NodeId;
+use bcount_sim::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Event-driven relay wave (quiescent on silence): sources launch a
+/// TTL-stamped token in round 1; receivers decrement and forward.
+#[derive(Debug, Clone)]
+struct Wave {
+    source: bool,
+    heard: u64,
+}
+
+impl Protocol for Wave {
+    type Message = Pid;
+    type Output = u64;
+    const QUIESCENT_ON_SILENCE: bool = true;
+
+    fn on_round(&mut self, ctx: &mut NodeContext<'_, Pid>) {
+        if ctx.round() == 1 {
+            if self.source {
+                ctx.broadcast(Pid(4));
+            }
+            return;
+        }
+        if ctx.inbox().is_empty() {
+            return;
+        }
+        let ttl = ctx
+            .inbox()
+            .iter()
+            .map(|e| e.msg.0)
+            .max()
+            .expect("non-empty")
+            .min(4);
+        self.heard += ctx.inbox().len() as u64;
+        if ttl > 0 {
+            ctx.broadcast(Pid(ttl - 1));
+        }
+    }
+
+    fn output(&self) -> Option<u64> {
+        (self.heard > 0).then_some(self.heard)
+    }
+}
+
+fn run_wave(g: &bcount_graph::Graph, sparse: bool) -> SimReport<u64> {
+    let mut sim = Simulation::new(
+        g,
+        &[NodeId(3), NodeId(40_000)],
+        |u, _| Wave {
+            source: u.index() % 4096 == 0,
+            heard: 0,
+        },
+        NullAdversary,
+        SimConfig {
+            seed: 7,
+            max_rounds: 8,
+            stop_when: StopWhen::MaxRoundsOnly,
+            sparse_rounds: sparse,
+            ..SimConfig::default()
+        },
+    );
+    assert_eq!(sim.sparse_schedule_active(), sparse);
+    sim.run()
+}
+
+#[test]
+#[ignore = "memory smoke test; run alone, in release, in its own process"]
+fn scale_65536_smoke_under_rss_budget() {
+    let n = 65_536usize;
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let g = hnd(n, 8, &mut rng).expect("H(n, 8) at the smoke scale");
+    assert_eq!(g.len(), n);
+    assert!(g.degree_sum() >= 8 * n, "8 random cycles worth of edges");
+
+    let dense = run_wave(&g, false);
+    let sparse = run_wave(&g, true);
+    assert_eq!(dense.rounds, 8);
+    assert_eq!(dense.outputs, sparse.outputs);
+    assert_eq!(
+        dense.metrics.total_messages(0..n),
+        sparse.metrics.total_messages(0..n)
+    );
+    let reached = dense.outputs.iter().flatten().count();
+    assert!(
+        reached > n / 2,
+        "the wave must cover most of an expander ({reached}/{n} reached)"
+    );
+
+    let budget_kb: u64 = std::env::var("BCOUNT_SCALE_RSS_BUDGET_KB")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2 * 1024 * 1024);
+    match bcount_sim::peak_rss_kb() {
+        Some(peak) => {
+            eprintln!("scale_smoke: n={n} peak RSS {peak} kB (budget {budget_kb} kB)");
+            assert!(
+                peak <= budget_kb,
+                "peak RSS {peak} kB exceeds the {budget_kb} kB scale budget"
+            );
+        }
+        None => eprintln!("scale_smoke: peak RSS unavailable on this platform; ceiling skipped"),
+    }
+}

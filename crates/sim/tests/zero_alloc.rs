@@ -92,6 +92,89 @@ impl Protocol for DoubleChatter {
     }
 }
 
+/// A quiescent token ring: one node launches a token in round 1, and
+/// thereafter a node acts only when the token lands in its inbox,
+/// forwarding it to the neighbour that did not send it. Declares
+/// [`Protocol::QUIESCENT_ON_SILENCE`], so the active-set schedule runs
+/// 1–2 nodes per round instead of the whole ring.
+#[derive(Debug, Clone)]
+struct TokenRing {
+    start: bool,
+}
+
+impl Protocol for TokenRing {
+    type Message = Pid;
+    type Output = ();
+    const QUIESCENT_ON_SILENCE: bool = true;
+
+    fn on_round(&mut self, ctx: &mut NodeContext<'_, Pid>) {
+        if ctx.round() == 1 {
+            if self.start {
+                let to = ctx.neighbors()[0];
+                let me = ctx.my_id();
+                ctx.send(to, me);
+            }
+            return;
+        }
+        let Some(env) = ctx.inbox().iter().next() else {
+            return;
+        };
+        let from = env.sender;
+        let token = *env.msg;
+        if let Some(to) = ctx.neighbors().iter().copied().find(|&p| p != from) {
+            ctx.send(to, token);
+        }
+    }
+
+    fn output(&self) -> Option<()> {
+        None
+    }
+}
+
+/// The active-set schedule's steady state must be allocation-free too:
+/// the worklists, their pid-rank sort, and the sparse scatter all run on
+/// warmed capacity. Covered twice — a live ring where the token
+/// circulates forever (1–2 active nodes per round), and a ring with a
+/// silent Byzantine node that swallows the token, after which every
+/// round is fully silent (the empty-active-set edge path).
+fn assert_zero_alloc_sparse(byz: bool) {
+    let g = cycle(96).unwrap();
+    let cfg = SimConfig {
+        max_rounds: u64::MAX,
+        stop_when: StopWhen::MaxRoundsOnly,
+        ..SimConfig::default()
+    };
+    let byz: &[NodeId] = if byz { &[NodeId(17)] } else { &[] };
+    let mut sim = Simulation::new(
+        &g,
+        byz,
+        |u, _| TokenRing {
+            start: u.index() == 0,
+        },
+        NullAdversary,
+        cfg,
+    );
+    assert!(
+        sim.sparse_schedule_active(),
+        "the sparse license must engage for the quiescent token ring"
+    );
+    for _ in 0..30 {
+        sim.step();
+    }
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..200 {
+        sim.step();
+    }
+    let delta = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        delta,
+        0,
+        "steady-state sparse rounds must not allocate (saw {delta} \
+         allocations over 200 rounds, byz={})",
+        !byz.is_empty()
+    );
+}
+
 /// Runs one steady-state window and asserts it performs zero allocations.
 ///
 /// Covers the full merge × delivery × layout matrix: the flat merge with
@@ -189,9 +272,12 @@ fn main() {
     assert_zero_alloc_rounds(true, true, InboxLayout::Arena, true);
     assert_zero_alloc_two_pass(false);
     assert_zero_alloc_two_pass(true);
+    // Active-set schedule: circulating token, and token death → silence.
+    assert_zero_alloc_sparse(false);
+    assert_zero_alloc_sparse(true);
     println!(
         "zero_alloc: ok (0 allocations over 200 steady-state rounds; \
          per-node flat/fused x plain/sharded, arena broadcast/general/\
-         sharded, arena two-pass plain/sharded)"
+         sharded, arena two-pass plain/sharded, sparse live/silent)"
     );
 }

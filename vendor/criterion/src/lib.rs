@@ -29,7 +29,11 @@
 //! max_ns, samples, iters_per_sample, throughput_count?, throughput_unit?,
 //! rate_per_sec?}]}`. The CI perf gate (`bcount-bench`'s `gate` bin)
 //! compares such artifacts against the committed `BENCH_BASELINE.json`,
-//! so bench smoke runs and the perf gate share this one code path.
+//! so bench smoke runs and the perf gate share this one code path. On
+//! Linux the document also carries a top-level `peak_rss_kb` — the
+//! process's `VmHWM` high-water mark, so scale-tier artifacts record the
+//! memory footprint alongside rounds/sec; the field is omitted where
+//! procfs is unavailable.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -104,13 +108,27 @@ fn emit_json_record(record: &JsonRecord<'_>) {
     records.push(body);
     // Rewrite the whole document after every record: record counts are
     // tiny, and this way partial runs still leave a valid artifact.
+    let rss = match peak_rss_kb() {
+        Some(kb) => format!("\"peak_rss_kb\":{kb},"),
+        None => String::new(),
+    };
     let doc = format!(
-        "{{\"schema\":\"bcount-bench/v1\",\"records\":[{}]}}\n",
+        "{{\"schema\":\"bcount-bench/v1\",{rss}\"records\":[{}]}}\n",
         records.join(",")
     );
     if let Err(e) = std::fs::write(&path, doc) {
         eprintln!("warning: could not write BCOUNT_BENCH_JSON={path}: {e}");
     }
+}
+
+/// The process's peak resident set size in kB (`VmHWM` from
+/// `/proc/self/status`), or `None` off Linux / without procfs. Duplicated
+/// from `bcount_sim::rss` because the vendored harness must stay
+/// dependency-free.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
 }
 
 /// Top-level benchmark driver (configuration container).

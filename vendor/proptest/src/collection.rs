@@ -27,7 +27,10 @@ where
 
     fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let len = rng.gen_range(self.size.clone());
-        (0..len).map(|_| self.element.sample(rng)).collect()
+        // Positional sampling: a mapped element strategy caches the
+        // source behind every position, so each slot deep-shrinks
+        // independently later.
+        (0..len).map(|i| self.element.sample_at(rng, i)).collect()
     }
 
     fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
@@ -59,13 +62,57 @@ where
         // element strategy's full candidate ladder (the binary descent
         // needs its later rungs to converge on failure boundaries).
         for i in 0..len {
-            for candidate in self.element.shrink(&value[i]) {
+            for candidate in self.element.shrink_at(&value[i], i) {
                 let mut next = value.clone();
                 next[i] = candidate;
                 out.push(next);
             }
         }
         out
+    }
+
+    fn accept_shrink(&self, prev: &Vec<S::Value>, index: usize) {
+        // Re-derive which segment of the candidate list (prefix
+        // truncation, element removal, element-wise) produced candidate
+        // `index`, mirroring `shrink`'s construction exactly, and route
+        // the acceptance to the element strategy so regeneration caches
+        // follow the descent. Re-deriving is deterministic: mapped
+        // elements reproduce their cached candidate lists.
+        let len = prev.len();
+        let min = self.size.start;
+        let mut start = 0usize;
+        if len > min {
+            let mut prefix = 1usize;
+            let half = len / 2;
+            if half > min {
+                prefix += 1;
+            }
+            if len - 1 > min && len - 1 != half {
+                prefix += 1;
+            }
+            if index < start + prefix {
+                // Truncation: caches beyond the new length simply go
+                // stale; no element was simplified.
+                return;
+            }
+            start += prefix;
+            if index < start + len {
+                // Removal of element `index - start`: later positions
+                // shift down, so the element strategy must realign its
+                // per-position caches.
+                self.element.remove_slot(index - start);
+                return;
+            }
+            start += len;
+        }
+        for (i, elem) in prev.iter().enumerate() {
+            let count = self.element.shrink_at(elem, i).len();
+            if index < start + count {
+                self.element.accept_shrink_at(elem, index - start, i);
+                return;
+            }
+            start += count;
+        }
     }
 }
 

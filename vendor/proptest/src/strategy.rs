@@ -11,8 +11,12 @@
 //! sampled, shrinks that, and re-maps the candidates; the runner reports
 //! which candidate survived ([`Strategy::accept_shrink`]) so the cache can
 //! follow the descent. Regeneration composes through tuples and nested
-//! maps; a mapped strategy used as a *collection element* still does not
-//! deep-shrink (one cache cannot track many positions).
+//! maps, and — via the positional `*_at` methods ([`Strategy::sample_at`],
+//! [`Strategy::shrink_at`], [`Strategy::accept_shrink_at`],
+//! [`Strategy::remove_slot`]) — through collections: [`Map`] keeps one
+//! source cache **per element position**, and `vec` threads the position
+//! through sampling, shrinking, and removal, so a mapped element strategy
+//! deep-shrinks every slot of the vector independently.
 
 use crate::test_runner::TestRng;
 use rand::Rng;
@@ -45,6 +49,38 @@ pub trait Strategy {
         let _ = (prev, index);
     }
 
+    /// Positional variant of [`Strategy::sample`], used when this strategy
+    /// generates the element at position `pos` of a collection. Stateless
+    /// strategies ignore the position (the default); [`Map`] keeps one
+    /// regeneration cache per position so collection elements deep-shrink
+    /// independently.
+    fn sample_at(&self, rng: &mut TestRng, pos: usize) -> Self::Value {
+        let _ = pos;
+        self.sample(rng)
+    }
+
+    /// Positional variant of [`Strategy::shrink`] for the element at
+    /// collection position `pos`.
+    fn shrink_at(&self, value: &Self::Value, pos: usize) -> Vec<Self::Value> {
+        let _ = pos;
+        self.shrink(value)
+    }
+
+    /// Positional variant of [`Strategy::accept_shrink`] for the element
+    /// at collection position `pos`.
+    fn accept_shrink_at(&self, prev: &Self::Value, index: usize, pos: usize) {
+        let _ = pos;
+        self.accept_shrink(prev, index)
+    }
+
+    /// Notifies the strategy that the collection element at position
+    /// `pos` was removed by a shrink step, so later positions shift down
+    /// by one. Stateless strategies ignore this (the default); [`Map`]
+    /// drops the corresponding per-position cache to stay aligned.
+    fn remove_slot(&self, pos: usize) {
+        let _ = pos;
+    }
+
     /// Maps generated values through `f`.
     ///
     /// Mapped strategies shrink by regeneration: the source value behind
@@ -61,6 +97,7 @@ pub trait Strategy {
             state: RefCell::new(MapState {
                 current: None,
                 candidates: Vec::new(),
+                slots: Vec::new(),
             }),
         }
     }
@@ -103,6 +140,17 @@ where
 struct MapState<V> {
     current: Option<V>,
     candidates: Vec<V>,
+    /// Per-position regeneration caches, used when this map generates the
+    /// elements of a collection: `slots[pos]` tracks the source behind
+    /// the element currently at position `pos` (see the positional
+    /// [`Strategy`] methods).
+    slots: Vec<MapSlot<V>>,
+}
+
+#[derive(Debug)]
+struct MapSlot<V> {
+    current: Option<V>,
+    candidates: Vec<V>,
 }
 
 impl<S, F> Clone for Map<S, F>
@@ -119,6 +167,7 @@ where
             state: RefCell::new(MapState {
                 current: None,
                 candidates: Vec::new(),
+                slots: Vec::new(),
             }),
         }
     }
@@ -168,6 +217,63 @@ where
         if let Some(prev_source) = prev_source {
             self.inner.accept_shrink(&prev_source, index);
         }
+    }
+
+    // --- Positional (collection-element) regeneration. -----------------
+    // Same regeneration scheme as above, but with one cache per element
+    // position, so a vector of mapped values deep-shrinks every slot
+    // independently. The position threads through to the inner strategy,
+    // letting nested maps keep their own per-position caches in step.
+
+    fn sample_at(&self, rng: &mut TestRng, pos: usize) -> O {
+        let source = self.inner.sample_at(rng, pos);
+        let mut state = self.state.borrow_mut();
+        while state.slots.len() <= pos {
+            state.slots.push(MapSlot {
+                current: None,
+                candidates: Vec::new(),
+            });
+        }
+        state.slots[pos].current = Some(source.clone());
+        state.slots[pos].candidates.clear();
+        drop(state);
+        (self.f)(source)
+    }
+
+    fn shrink_at(&self, _value: &O, pos: usize) -> Vec<O> {
+        let mut state = self.state.borrow_mut();
+        let Some(current) = state.slots.get(pos).and_then(|s| s.current.clone()) else {
+            return Vec::new();
+        };
+        let candidates = self.inner.shrink_at(&current, pos);
+        state.slots[pos].candidates = candidates.clone();
+        drop(state);
+        candidates.into_iter().map(&self.f).collect()
+    }
+
+    fn accept_shrink_at(&self, _prev: &O, index: usize, pos: usize) {
+        let mut state = self.state.borrow_mut();
+        let Some(source) = state
+            .slots
+            .get(pos)
+            .and_then(|s| s.candidates.get(index).cloned())
+        else {
+            return;
+        };
+        let prev_source = state.slots[pos].current.replace(source);
+        drop(state);
+        if let Some(prev_source) = prev_source {
+            self.inner.accept_shrink_at(&prev_source, index, pos);
+        }
+    }
+
+    fn remove_slot(&self, pos: usize) {
+        let mut state = self.state.borrow_mut();
+        if pos < state.slots.len() {
+            state.slots.remove(pos);
+        }
+        drop(state);
+        self.inner.remove_slot(pos);
     }
 }
 

@@ -295,6 +295,34 @@ mod tests {
     }
 
     #[test]
+    fn mapped_elements_deep_shrink_inside_vecs() {
+        // A mapped strategy as a *collection element*: the vector threads
+        // positions through sampling and shrinking, so every slot keeps
+        // its own regeneration cache. Fails when any tag exceeds 1000:
+        // removals (which realign the per-position caches) must discard
+        // the innocent elements and the surviving slot must regenerate
+        // down to the boundary — minimal case [Tag(1001)] (source 1000).
+        #[derive(Debug, Clone, PartialEq)]
+        struct Tag(u64);
+        let strategy = (crate::collection::vec(
+            (0u64..10_000).prop_map(|v| Tag(v + 1)),
+            0..8,
+        ),);
+        let msg = failure_message(&strategy, |(v,)| {
+            if v.iter().all(|t| t.0 <= 1000) {
+                Ok(())
+            } else {
+                Err(TestCaseError::fail(format!("offender in {v:?}")))
+            }
+        })
+        .expect("property must fail");
+        assert!(
+            msg.contains("minimal failing input: ([Tag(1001)],)"),
+            "mapped vec element not deep-minimized: {msg}"
+        );
+    }
+
+    #[test]
     fn shrinking_can_be_disabled() {
         let mut runner = TestRunner::new(ProptestConfig {
             max_shrink_iters: 0,

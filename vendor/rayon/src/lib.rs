@@ -354,7 +354,13 @@ fn wait_join<R>(shared: &PoolShared, slot: &JoinSlot<R>) -> thread::Result<R> {
         // No runnable work: park briefly on the slot's condvar. The
         // timeout re-checks the queue, closing the race where a nested
         // fork injects a job between our pop attempt and the wait.
-        let guard = slot.result.lock().expect("join slot poisoned");
+        let mut guard = slot.result.lock().expect("join slot poisoned");
+        // A completion can land between the unlocked check above and
+        // taking this lock; consume it here rather than sleeping out the
+        // full timeout on a notify that already happened.
+        if let Some(result) = guard.take() {
+            return result;
+        }
         let (mut guard, _) = slot
             .done
             .wait_timeout(guard, Duration::from_micros(200))

@@ -1,8 +1,9 @@
-//! Offline vendored rayon subset, backed by a **persistent worker pool**.
+//! Offline vendored rayon subset, backed by a **persistent work-stealing
+//! pool**.
 //!
 //! The build environment has no network access, so this crate provides the
 //! fork-join primitives the simulator's `parallel` feature builds on. Since
-//! PR 4 it is a real pool, not a spawn-per-call shim:
+//! PR 4 it is a real pool, and since PR 7 a genuinely multicore one:
 //!
 //! * **Long-lived workers** — the global pool's threads are created once
 //!   (lazily, on first use) and live for the process. The pool size comes
@@ -11,14 +12,27 @@
 //!   `k − 1` workers: the calling thread always participates, so a size-1
 //!   pool is the degenerate serial configuration with **zero** threads and
 //!   zero synchronization (every [`join`] runs inline).
-//! * **Chunked shared-injector deque** — jobs go into one shared deque;
-//!   workers pop FIFO from the front, while threads *waiting* on a join or
-//!   scope steal LIFO from the back (most recently pushed — their own
-//!   fork's job or one of its descendants, in the common case). A waiting
-//!   thread never blocks while runnable work exists, which is what makes
-//!   nested `join`s deadlock-free: every waiter drains the queue before
-//!   parking, so a queued job can always be claimed by *some* thread that
-//!   is guaranteed to run it.
+//! * **Per-worker deques + a global injector** — each worker owns a deque
+//!   ([`sched::WorkerDeque`]): it pushes and pops its own forks at the
+//!   bottom (LIFO, the cache-hot end) while other workers steal from the
+//!   top (FIFO, the oldest and largest-granularity work). Threads that are
+//!   not workers of the pool submit through the global injector
+//!   ([`sched::Injector`]), which workers drain FIFO; an external thread
+//!   waiting on its own fork steals back LIFO from the injector, then
+//!   FIFO from the worker deques. A waiting thread never blocks while
+//!   runnable work exists, which is what makes nested `join`s
+//!   deadlock-free: every waiter drains the queues before parking, so a
+//!   queued job can always be claimed by *some* thread that runs it.
+//! * **Event-driven parking** — idle threads park on one pool-wide
+//!   condvar instead of polling on a timeout. A parker increments the
+//!   `SeqCst` sleeper count, re-checks every queue (and its own wait
+//!   condition) *after* the increment while holding the sleep lock, and
+//!   only then waits; producers push, then look at the sleeper count and
+//!   notify through the same lock. If a producer reads zero sleepers, the
+//!   parker's increment — and therefore its re-check — is ordered after
+//!   the push, so the re-check observes the job and the parker never
+//!   sleeps through a wakeup. The `tests/schedules.rs` harness enumerates
+//!   interleavings of exactly this protocol.
 //! * **Call-compatible surface** — [`join`], [`scope`],
 //!   [`current_num_threads`], [`ThreadPool`] (`install`,
 //!   `current_num_threads`) and [`ThreadPoolBuilder`] (`num_threads`,
@@ -35,8 +49,8 @@
 //!
 //! This crate contains the workspace's only `unsafe` code (mirroring the
 //! real rayon, whose core is likewise unsafe): [`join`] and
-//! [`Scope::spawn`] erase the lifetime of a closure so it can sit in the
-//! shared queue while borrowing the forking stack frame. Soundness rests on
+//! [`Scope::spawn`] erase the lifetime of a closure so it can sit in a
+//! work queue while borrowing the forking stack frame. Soundness rests on
 //! one invariant, upheld by construction and spelled out at each call site:
 //! **the forking call does not return — not even by unwinding — until the
 //! erased job has finished running**, so every borrow the closure captures
@@ -45,16 +59,19 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod sched;
+
 use std::any::Any;
-use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::cell::{Cell, RefCell};
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
-use std::time::Duration;
 
-/// A lifetime-erased unit of work in the shared deque.
+use sched::{steal_order, Injector, WorkerDeque};
+
+/// A lifetime-erased unit of work in the pool's queues.
 type Job = Box<dyn FnOnce() + Send>;
 
 /// Environment variable overriding the global pool size.
@@ -64,74 +81,193 @@ pub const POOL_THREADS_ENV: &str = "BCOUNT_POOL_THREADS";
 // Pool internals.
 // ---------------------------------------------------------------------------
 
-struct PoolState {
-    jobs: VecDeque<Job>,
-    shutdown: bool,
-}
-
-/// The shared heart of a pool: the injector deque plus its size. Workers,
-/// forking threads, and `ThreadPool` handles all hold an `Arc` of this.
+/// The shared heart of a pool: the injector, the per-worker deques, and
+/// the parking state. Workers, forking threads, and `ThreadPool` handles
+/// all hold an `Arc` of this.
 struct PoolShared {
     threads: usize,
-    state: Mutex<PoolState>,
+    injector: Mutex<Injector<Job>>,
+    /// One deque per worker thread (`threads - 1` of them; the
+    /// participating caller has none and goes through the injector).
+    deques: Box<[Mutex<WorkerDeque<Job>>]>,
+    /// The sleep lock: guards the shutdown flag and serializes the
+    /// park/notify handshake. Parkers hold it across their post-increment
+    /// re-check and the condvar wait; producers take it (empty critical
+    /// section) before notifying, so a notification cannot slip into the
+    /// gap between a parker's re-check and its wait.
+    sleep: Mutex<bool>,
     work_ready: Condvar,
+    /// Number of threads between their sleeper increment and decrement.
+    /// `SeqCst` so a producer that reads zero knows the parker's
+    /// subsequent re-check is ordered after the producer's push.
+    sleepers: AtomicUsize,
 }
 
 impl PoolShared {
     fn new(threads: usize) -> Self {
+        let deques = (1..threads)
+            .map(|_| Mutex::new(WorkerDeque::new()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
         PoolShared {
             threads,
-            state: Mutex::new(PoolState {
-                jobs: VecDeque::new(),
-                shutdown: false,
-            }),
+            injector: Mutex::new(Injector::new()),
+            deques,
+            sleep: Mutex::new(false),
             work_ready: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
         }
     }
 
-    /// Pushes a job on the back of the deque and wakes one worker.
-    fn inject(&self, job: Job) {
-        let mut state = self.state.lock().expect("pool mutex poisoned");
-        state.jobs.push_back(job);
-        drop(state);
-        self.work_ready.notify_one();
+    /// The calling thread's worker index *in this pool*, if it is one of
+    /// this pool's workers.
+    fn worker_index(&self) -> Option<usize> {
+        WORKER
+            .with(|w| w.get())
+            .and_then(|(pool, index)| (pool == self as *const PoolShared as usize).then_some(index))
     }
 
-    /// LIFO pop from the back — the waiting-thread steal path.
-    fn try_pop_back(&self) -> Option<Job> {
-        self.state
-            .lock()
-            .expect("pool mutex poisoned")
-            .jobs
-            .pop_back()
+    /// Queues a fork: a worker of this pool pushes onto the bottom of its
+    /// own deque; everyone else goes through the global injector. Wakes
+    /// sleepers either way.
+    fn schedule(&self, job: Job) {
+        match self.worker_index() {
+            Some(index) => self.deques[index]
+                .lock()
+                .expect("worker deque poisoned")
+                .push_bottom(job),
+            None => self.injector.lock().expect("injector poisoned").push(job),
+        }
+        self.notify_work();
     }
 
-    /// Worker loop body: FIFO-pop jobs until shutdown.
-    fn run_worker(self: &Arc<Self>) {
-        CURRENT_POOL.with(|current| *current.borrow_mut() = Some(Arc::clone(self)));
-        loop {
-            let job = {
-                let mut state = self.state.lock().expect("pool mutex poisoned");
-                loop {
-                    if let Some(job) = state.jobs.pop_front() {
-                        break Some(job);
-                    }
-                    if state.shutdown {
-                        break None;
-                    }
-                    state = self.work_ready.wait(state).expect("pool mutex poisoned");
+    /// Claims a runnable job, if any, in the caller's acquisition order:
+    /// a worker pops its own bottom (LIFO), then drains the injector
+    /// (FIFO), then steals the other deques' tops round-robin; an
+    /// external thread steals back from the injector (LIFO — its own most
+    /// recent fork), then steals the deque tops.
+    fn find_work(&self) -> Option<Job> {
+        match self.worker_index() {
+            Some(index) => {
+                if let Some(job) = self.deques[index]
+                    .lock()
+                    .expect("worker deque poisoned")
+                    .pop_bottom()
+                {
+                    return Some(job);
                 }
-            };
-            match job {
-                // Jobs capture their own panics into join slots / scope
-                // latches; the catch here only shields the worker loop from
-                // a hypothetical leak so the pool can never lose a thread.
-                Some(job) => {
-                    let _ = catch_unwind(AssertUnwindSafe(job));
+                if let Some(job) = self.injector.lock().expect("injector poisoned").steal() {
+                    return Some(job);
                 }
-                None => return,
+                for victim in steal_order(index, self.deques.len()) {
+                    if let Some(job) = self.deques[victim]
+                        .lock()
+                        .expect("worker deque poisoned")
+                        .steal_top()
+                    {
+                        return Some(job);
+                    }
+                }
+                None
+            }
+            None => {
+                if let Some(job) = self.injector.lock().expect("injector poisoned").pop_back() {
+                    return Some(job);
+                }
+                for victim in 0..self.deques.len() {
+                    if let Some(job) = self.deques[victim]
+                        .lock()
+                        .expect("worker deque poisoned")
+                        .steal_top()
+                    {
+                        return Some(job);
+                    }
+                }
+                None
             }
         }
+    }
+
+    /// Whether any queue holds a job. Called by parkers during their
+    /// under-the-sleep-lock re-check; producers never take the sleep lock
+    /// while holding a queue lock, so the nesting cannot deadlock.
+    fn has_queued_work(&self) -> bool {
+        if !self.injector.lock().expect("injector poisoned").is_empty() {
+            return true;
+        }
+        self.deques
+            .iter()
+            .any(|d| !d.lock().expect("worker deque poisoned").is_empty())
+    }
+
+    /// Producer-side wake: after pushing a job or filling a completion,
+    /// notify every parked thread — but only if someone might be parked.
+    /// Reading zero here is safe: the parker's `SeqCst` increment happens
+    /// before its re-check, so a parker that missed this producer's count
+    /// load will still observe the producer's push when it re-checks.
+    fn notify_work(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            drop(self.sleep.lock().expect("pool sleep lock poisoned"));
+            self.work_ready.notify_all();
+        }
+    }
+
+    /// Parks the calling thread until a producer notifies, unless
+    /// `should_wake` (checked after the sleeper increment, under the
+    /// sleep lock) already holds. Returns immediately in that case.
+    fn park_unless(&self, should_wake: impl Fn() -> bool) {
+        let guard = self.sleep.lock().expect("pool sleep lock poisoned");
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        // Re-check *after* the increment: any producer that read the
+        // counter before it sees our increment... or we see its push.
+        if should_wake() {
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        let _guard = self
+            .work_ready
+            .wait(guard)
+            .expect("pool sleep lock poisoned");
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Worker loop body: claim and run jobs; park event-driven when the
+    /// queues are dry; exit on shutdown.
+    fn run_worker(self: &Arc<Self>, index: usize) {
+        CURRENT_POOL.with(|current| *current.borrow_mut() = Some(Arc::clone(self)));
+        WORKER.with(|w| w.set(Some((Arc::as_ptr(self) as usize, index))));
+        loop {
+            if let Some(job) = self.find_work() {
+                // Jobs capture their own panics into join slots / scope
+                // latches; the catch here only shields the worker loop
+                // from a hypothetical leak so the pool never loses a
+                // thread.
+                let _ = catch_unwind(AssertUnwindSafe(job));
+                continue;
+            }
+            let guard = self.sleep.lock().expect("pool sleep lock poisoned");
+            if *guard {
+                return;
+            }
+            self.sleepers.fetch_add(1, Ordering::SeqCst);
+            if self.has_queued_work() {
+                self.sleepers.fetch_sub(1, Ordering::SeqCst);
+                continue;
+            }
+            let guard = self
+                .work_ready
+                .wait(guard)
+                .expect("pool sleep lock poisoned");
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
+            if *guard {
+                return;
+            }
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        *self.sleep.lock().expect("pool sleep lock poisoned") = true;
+        self.work_ready.notify_all();
     }
 }
 
@@ -140,6 +276,11 @@ thread_local! {
     /// pool) and inside [`ThreadPool::install`]; everyone else uses the
     /// global pool.
     static CURRENT_POOL: RefCell<Option<Arc<PoolShared>>> = const { RefCell::new(None) };
+
+    /// For pool workers: (owning pool's `PoolShared` address, worker
+    /// index). The address comparison is sound because a worker keeps its
+    /// own pool alive for the lifetime of this entry.
+    static WORKER: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
 }
 
 fn current_shared() -> Arc<PoolShared> {
@@ -224,22 +365,18 @@ impl ThreadPoolBuilder {
         // The forking thread participates, so `threads - 1` workers give a
         // total parallelism of `threads`; a size-1 pool is fully inline.
         let mut workers = Vec::new();
-        for index in 1..threads {
+        for index in 0..threads.saturating_sub(1) {
             let worker_shared = Arc::clone(&shared);
             match thread::Builder::new()
                 .name(format!("bcount-pool-{index}"))
-                .spawn(move || worker_shared.run_worker())
+                .spawn(move || worker_shared.run_worker(index))
             {
                 Ok(handle) => workers.push(handle),
                 Err(e) => {
                     // Don't leak the workers that did start: they would
                     // otherwise park on `work_ready` forever, pinning
                     // their threads and the pool state for the process.
-                    {
-                        let mut state = shared.state.lock().expect("pool mutex poisoned");
-                        state.shutdown = true;
-                    }
-                    shared.work_ready.notify_all();
+                    shared.begin_shutdown();
                     for handle in workers {
                         let _ = handle.join();
                     }
@@ -270,7 +407,8 @@ impl ThreadPool {
     /// Unlike crates.io rayon, `op` runs on the *calling* thread rather
     /// than being migrated onto a worker; callers in this workspace never
     /// observe the difference (transcripts are thread-placement
-    /// independent).
+    /// independent). Nests freely: the previous pool is restored when
+    /// `op` returns, including by unwinding.
     pub fn install<OP, R>(&self, op: OP) -> R
     where
         OP: FnOnce() -> R + Send,
@@ -297,20 +435,10 @@ impl ThreadPool {
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        {
-            let mut state = self.shared.state.lock().expect("pool mutex poisoned");
-            state.shutdown = true;
-        }
-        self.work_ready_broadcast();
+        self.shared.begin_shutdown();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
-    }
-}
-
-impl ThreadPool {
-    fn work_ready_broadcast(&self) {
-        self.shared.work_ready.notify_all();
     }
 }
 
@@ -318,66 +446,60 @@ impl ThreadPool {
 // join.
 // ---------------------------------------------------------------------------
 
-/// Where a forked closure's outcome lands: the forking thread blocks (or
-/// help-runs queued jobs) until the slot fills.
+/// Where a forked closure's outcome lands: the forking thread help-runs
+/// queued jobs (or parks on the pool condvar) until the slot fills.
 struct JoinSlot<R> {
     result: Mutex<Option<thread::Result<R>>>,
-    done: Condvar,
 }
 
 impl<R> JoinSlot<R> {
     fn new() -> Self {
         JoinSlot {
             result: Mutex::new(None),
-            done: Condvar::new(),
         }
     }
 
-    fn complete(&self, result: thread::Result<R>) {
+    fn is_filled(&self) -> bool {
+        self.result.lock().expect("join slot poisoned").is_some()
+    }
+
+    /// Fills the slot and wakes the pool's sleepers (the joiner may be
+    /// parked on the pool-wide condvar).
+    fn complete(&self, shared: &PoolShared, result: thread::Result<R>) {
         *self.result.lock().expect("join slot poisoned") = Some(result);
-        self.done.notify_all();
+        shared.notify_work();
     }
 }
 
 /// Helps the pool until `slot` fills, then takes the result. The waiting
-/// thread steals queued jobs (LIFO) instead of parking whenever work is
-/// available — the property that makes nested joins deadlock-free.
+/// thread claims queued jobs instead of parking whenever work is
+/// available — the property that makes nested joins deadlock-free — and
+/// otherwise parks event-driven until a push or completion notifies.
 fn wait_join<R>(shared: &PoolShared, slot: &JoinSlot<R>) -> thread::Result<R> {
     loop {
         if let Some(result) = slot.result.lock().expect("join slot poisoned").take() {
             return result;
         }
-        if let Some(job) = shared.try_pop_back() {
+        if let Some(job) = shared.find_work() {
             job();
             continue;
         }
-        // No runnable work: park briefly on the slot's condvar. The
-        // timeout re-checks the queue, closing the race where a nested
-        // fork injects a job between our pop attempt and the wait.
-        let mut guard = slot.result.lock().expect("join slot poisoned");
-        // A completion can land between the unlocked check above and
-        // taking this lock; consume it here rather than sleeping out the
-        // full timeout on a notify that already happened.
-        if let Some(result) = guard.take() {
-            return result;
-        }
-        let (mut guard, _) = slot
-            .done
-            .wait_timeout(guard, Duration::from_micros(200))
-            .expect("join slot poisoned");
-        if let Some(result) = guard.take() {
-            return result;
-        }
+        // Park until a completion or new work arrives. The closure
+        // re-checks both under the sleep lock, after the sleeper
+        // increment, so a completion landing between the checks above and
+        // the park cannot be missed.
+        shared.park_unless(|| slot.is_filled() || shared.has_queued_work());
     }
 }
 
 /// Runs both closures, potentially in parallel, returning both results.
 ///
-/// `oper_a` runs on the calling thread; `oper_b` is pushed to the current
-/// pool's injector, where an idle worker (or this thread, stealing it back
-/// after finishing `oper_a`) picks it up. On a size-1 pool both simply run
-/// inline. Panics in either closure propagate to the caller (after both
-/// have finished).
+/// `oper_a` runs on the calling thread; `oper_b` goes to the current
+/// pool — onto the caller's own deque when the caller is a pool worker,
+/// through the global injector otherwise — where an idle worker (or this
+/// thread, claiming it back after finishing `oper_a`) picks it up. On a
+/// size-1 pool both simply run inline. Panics in either closure propagate
+/// to the caller (after both have finished).
 pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -393,14 +515,16 @@ where
     }
     let slot: Arc<JoinSlot<RB>> = Arc::new(JoinSlot::new());
     let completer = Arc::clone(&slot);
-    let job: Box<dyn FnOnce() + Send + '_> =
-        Box::new(move || completer.complete(catch_unwind(AssertUnwindSafe(oper_b))));
+    let completer_shared = Arc::clone(&shared);
+    let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+        completer.complete(&completer_shared, catch_unwind(AssertUnwindSafe(oper_b)));
+    });
     // SAFETY: the erased job borrows this stack frame (through `oper_b`'s
     // captures). Every path out of this function first runs `wait_join`,
     // which returns only once the job has executed and filled `slot` — so
     // the borrows outlive the job even when `oper_a` panics.
     let job: Job = unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
-    shared.inject(job);
+    shared.schedule(job);
     let ra = match catch_unwind(AssertUnwindSafe(oper_a)) {
         Ok(ra) => ra,
         Err(panic) => {
@@ -420,7 +544,6 @@ where
 
 struct ScopeLatch {
     pending: Mutex<usize>,
-    all_done: Condvar,
     panic: Mutex<Option<Box<dyn Any + Send>>>,
 }
 
@@ -428,7 +551,6 @@ impl ScopeLatch {
     fn new() -> Self {
         ScopeLatch {
             pending: Mutex::new(0),
-            all_done: Condvar::new(),
             panic: Mutex::new(None),
         }
     }
@@ -437,7 +559,9 @@ impl ScopeLatch {
         *self.pending.lock().expect("scope latch poisoned") += 1;
     }
 
-    fn finish(&self, panic: Option<Box<dyn Any + Send>>) {
+    /// Records a task completion; wakes the pool's sleepers when the
+    /// count hits zero (the scope owner may be parked).
+    fn finish(&self, shared: &PoolShared, panic: Option<Box<dyn Any + Send>>) {
         if let Some(panic) = panic {
             let mut slot = self.panic.lock().expect("scope latch poisoned");
             if slot.is_none() {
@@ -446,9 +570,10 @@ impl ScopeLatch {
         }
         let mut pending = self.pending.lock().expect("scope latch poisoned");
         *pending -= 1;
-        if *pending == 0 {
-            drop(pending);
-            self.all_done.notify_all();
+        let done = *pending == 0;
+        drop(pending);
+        if done {
+            shared.notify_work();
         }
     }
 
@@ -480,7 +605,7 @@ impl<'scope> Scope<'scope> {
                 _marker: PhantomData,
             };
             let result = catch_unwind(AssertUnwindSafe(|| body(&nested)));
-            self.latch.finish(result.err());
+            self.latch.finish(&self.shared, result.err());
             return;
         }
         let shared = Arc::clone(&self.shared);
@@ -492,14 +617,14 @@ impl<'scope> Scope<'scope> {
                 _marker: PhantomData,
             };
             let result = catch_unwind(AssertUnwindSafe(|| body(&nested)));
-            latch.finish(result.err());
+            latch.finish(&shared, result.err());
         });
         // SAFETY: `scope` does not return (not even by unwinding) until
         // the latch reports every spawned task finished, so the borrows
         // captured by `body` outlive the job's execution.
         let job: Job =
             unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
-        self.shared.inject(job);
+        self.shared.schedule(job);
     }
 }
 
@@ -517,28 +642,19 @@ where
         _marker: PhantomData,
     };
     let result = catch_unwind(AssertUnwindSafe(|| op(&fork_scope)));
-    // Help-run queued jobs until every spawned task has finished.
+    // Help-run queued jobs until every spawned task has finished; park
+    // event-driven when the queues are dry (a task completion notifies).
     loop {
         if fork_scope.latch.is_done() {
             break;
         }
-        if let Some(job) = fork_scope.shared.try_pop_back() {
+        if let Some(job) = fork_scope.shared.find_work() {
             job();
             continue;
         }
-        let pending = fork_scope
-            .latch
-            .pending
-            .lock()
-            .expect("scope latch poisoned");
-        if *pending == 0 {
-            break;
-        }
-        let _ = fork_scope
-            .latch
-            .all_done
-            .wait_timeout(pending, Duration::from_micros(200))
-            .expect("scope latch poisoned");
+        fork_scope
+            .shared
+            .park_unless(|| fork_scope.latch.is_done() || fork_scope.shared.has_queued_work());
     }
     if let Some(panic) = fork_scope
         .latch
@@ -615,6 +731,35 @@ mod tests {
     }
 
     #[test]
+    fn nested_install_restores_outer_pool_on_unwind() {
+        // `install` nests: entering a second pool inside the first and
+        // panicking out of it must restore the *outer* pool as current,
+        // not clear the slot or leak the inner pool.
+        let outer = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let inner = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        outer.install(|| {
+            assert_eq!(current_num_threads(), 3);
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                inner.install(|| {
+                    assert_eq!(current_num_threads(), 2);
+                    panic!("inner install boom");
+                })
+            }));
+            assert!(caught.is_err(), "the inner panic must surface");
+            assert_eq!(
+                current_num_threads(),
+                3,
+                "unwinding out of the inner install must restore the outer pool"
+            );
+            // The restored pool is live, not a stale handle: fork on it.
+            let (a, b) = join(|| 1, || 2);
+            assert_eq!(a + b, 3);
+        });
+        // Back outside both installs, the global sizing rules apply.
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
     fn workers_are_persistent_across_joins() {
         // Many sequential joins on one pool must not grow the thread
         // count: record the distinct worker thread ids seen.
@@ -634,6 +779,23 @@ mod tests {
         });
         // Caller + at most 3 workers.
         assert!(ids.lock().unwrap().len() <= 4);
+    }
+
+    #[test]
+    fn workers_fork_onto_their_own_deques() {
+        // A deep fork tree on a multi-worker pool: the nested joins that
+        // workers execute push onto their own deques (LIFO) and the
+        // result must still be exact — no job lost or run twice.
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        fn count(depth: u32) -> u64 {
+            if depth == 0 {
+                return 1;
+            }
+            let (a, b) = join(|| count(depth - 1), || count(depth - 1));
+            a + b
+        }
+        let total = pool.install(|| count(10));
+        assert_eq!(total, 1 << 10);
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! The pool's scheduling data structures, factored out of the runtime so
+//! the schedule-exploration harness (`tests/schedules.rs`) can drive the
+//! *same* push/pop/steal code under a model scheduler that enumerates
+//! thread interleavings.
+//!
+//! Both containers are plain sequential structures; the runtime wraps
+//! each in its own [`std::sync::Mutex`], so every method here corresponds
+//! to exactly one atomic critical section in the running pool — which is
+//! what lets the harness treat each call as a single indivisible
+//! transition of the model.
+
+use std::collections::VecDeque;
+
+/// A worker's private job deque.
+///
+/// The owning worker pushes and pops at the **bottom** (LIFO — its own
+/// most recent fork, the cache-hot end), while thieves steal from the
+/// **top** (FIFO — the oldest and typically largest-granularity work).
+#[derive(Clone, Debug)]
+pub struct WorkerDeque<J> {
+    jobs: VecDeque<J>,
+}
+
+impl<J> WorkerDeque<J> {
+    /// An empty deque.
+    pub fn new() -> Self {
+        WorkerDeque {
+            jobs: VecDeque::new(),
+        }
+    }
+
+    /// Owner push: bottom of the deque.
+    pub fn push_bottom(&mut self, job: J) {
+        self.jobs.push_back(job);
+    }
+
+    /// Owner pop: bottom of the deque (LIFO — the most recent push).
+    pub fn pop_bottom(&mut self) -> Option<J> {
+        self.jobs.pop_back()
+    }
+
+    /// Thief pop: top of the deque (FIFO — the least recent push).
+    pub fn steal_top(&mut self) -> Option<J> {
+        self.jobs.pop_front()
+    }
+
+    /// Whether the deque currently holds no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Number of queued jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+}
+
+impl<J> Default for WorkerDeque<J> {
+    fn default() -> Self {
+        WorkerDeque::new()
+    }
+}
+
+/// The global injector: the submission queue for threads that are *not*
+/// workers of the pool (the forking caller on the outside, `scope` users
+/// entering from other pools).
+///
+/// Workers drain it FIFO from the front; an external thread *waiting* on
+/// its own fork steals back LIFO from the back — the job it pushed most
+/// recently, which in the common case is its own fork or one of its
+/// descendants.
+#[derive(Clone, Debug)]
+pub struct Injector<J> {
+    jobs: VecDeque<J>,
+}
+
+impl<J> Injector<J> {
+    /// An empty injector.
+    pub fn new() -> Self {
+        Injector {
+            jobs: VecDeque::new(),
+        }
+    }
+
+    /// External submission: back of the queue.
+    pub fn push(&mut self, job: J) {
+        self.jobs.push_back(job);
+    }
+
+    /// Worker-side FIFO steal: front of the queue (oldest submission).
+    pub fn steal(&mut self) -> Option<J> {
+        self.jobs.pop_front()
+    }
+
+    /// External waiter's LIFO steal-back: back of the queue (most recent
+    /// submission).
+    pub fn pop_back(&mut self) -> Option<J> {
+        self.jobs.pop_back()
+    }
+
+    /// Whether the injector currently holds no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Number of queued jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+}
+
+impl<J> Default for Injector<J> {
+    fn default() -> Self {
+        Injector::new()
+    }
+}
+
+/// The order in which worker `me` visits the other deques of an
+/// `n`-deque pool when stealing: round-robin starting just past itself,
+/// wrapping, and skipping itself. Deterministic, and spreads thief
+/// contention away from the low indices.
+pub fn steal_order(me: usize, n: usize) -> impl Iterator<Item = usize> {
+    (me.saturating_add(1)..n).chain(0..me.min(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_end_is_lifo_thief_end_is_fifo() {
+        let mut d = WorkerDeque::new();
+        d.push_bottom(1);
+        d.push_bottom(2);
+        d.push_bottom(3);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.pop_bottom(), Some(3), "owner sees its latest push");
+        assert_eq!(d.steal_top(), Some(1), "thief sees the oldest push");
+        assert_eq!(d.pop_bottom(), Some(2));
+        assert!(d.is_empty());
+        assert_eq!(d.pop_bottom(), None);
+        assert_eq!(d.steal_top(), None);
+    }
+
+    #[test]
+    fn injector_is_fifo_for_workers_lifo_for_steal_back() {
+        let mut inj = Injector::new();
+        inj.push("a");
+        inj.push("b");
+        inj.push("c");
+        assert_eq!(inj.steal(), Some("a"), "workers drain oldest first");
+        assert_eq!(inj.pop_back(), Some("c"), "waiter steals back its latest");
+        assert_eq!(inj.len(), 1);
+    }
+
+    #[test]
+    fn steal_order_visits_everyone_else_once() {
+        let seen: Vec<usize> = steal_order(1, 4).collect();
+        assert_eq!(seen, vec![2, 3, 0]);
+        let seen: Vec<usize> = steal_order(0, 3).collect();
+        assert_eq!(seen, vec![1, 2]);
+        let seen: Vec<usize> = steal_order(2, 3).collect();
+        assert_eq!(seen, vec![0, 1]);
+        assert_eq!(steal_order(0, 1).count(), 0, "a lone worker has no victims");
+    }
+}

@@ -1,0 +1,609 @@
+//! Schedule-exploration harness for the work-stealing pool: a model
+//! checker in the loom spirit, sized for this crate.
+//!
+//! The model executes small binary fork trees over the pool's *real*
+//! scheduling structures (`rayon::sched::{WorkerDeque, Injector,
+//! steal_order}`) under a deterministic scheduler that owns all
+//! nondeterminism: at every step it picks which virtual thread advances,
+//! and a depth-first search enumerates every choice sequence up to a
+//! budget. Each transition mirrors one mutex-guarded critical section of
+//! the runtime — fork push, owner pop, injector/deque steal, the
+//! two-phase park (sleeper increment, then the under-lock re-check that
+//! either commits to sleep or aborts), and completion with its
+//! producer-side wake — so the interleavings explored here are exactly
+//! the schedules the OS could hand the running pool.
+//!
+//! Checked on **every** explored schedule:
+//!
+//! * **termination** — some thread can always advance until the root
+//!   join completes (a schedule where all threads are parked while work
+//!   or an unfilled slot remains is a lost wakeup, reported as a
+//!   deadlock);
+//! * **no lost jobs** — every leaf task executes exactly once and every
+//!   queue drains;
+//! * **panic propagation** — the root observes a panic iff some leaf
+//!   panicked.
+//!
+//! The park model is deliberately two-phase. Collapsing the re-check
+//! into the sleep transition would hide exactly the bug class the
+//! runtime's protocol exists to prevent: a producer pushing between a
+//! waiter's last look at the queues and its condvar wait. Here the
+//! prepare-park and park-commit transitions are separate scheduler
+//! choices, so every such producer interleaving is explored — if the
+//! commit did not re-check (as `wait_join` once failed to), the DFS
+//! finds the deadlock immediately.
+
+use std::collections::BTreeMap;
+
+use rayon::sched::{steal_order, Injector, WorkerDeque};
+
+// ---------------------------------------------------------------------------
+// The task tree.
+// ---------------------------------------------------------------------------
+
+/// A task: a leaf body (optionally panicking) or a two-way fork whose
+/// right child is pushed to the queues, mirroring `rayon::join`.
+#[derive(Clone, Copy, Debug)]
+enum Node {
+    Leaf { panics: bool },
+    Fork { left: usize, right: usize },
+}
+
+#[derive(Clone, Debug, Default)]
+struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    fn leaf(&mut self, panics: bool) -> usize {
+        self.nodes.push(Node::Leaf { panics });
+        self.nodes.len() - 1
+    }
+
+    fn fork(&mut self, left: usize, right: usize) -> usize {
+        self.nodes.push(Node::Fork { left, right });
+        self.nodes.len() - 1
+    }
+
+    fn any_leaf_panics(&self) -> bool {
+        self.nodes
+            .iter()
+            .any(|n| matches!(n, Node::Leaf { panics: true }))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Virtual threads.
+// ---------------------------------------------------------------------------
+
+/// One continuation frame of a virtual thread's stack.
+#[derive(Clone, Copy, Debug)]
+enum Frame {
+    /// Execute this task node next.
+    Exec(usize),
+    /// `rayon::join`'s wait: the left side's result is on the result
+    /// stack; block (help-run / park) until `slots[node]` fills.
+    JoinWait(usize),
+    /// A claimed queue job finished executing: publish the result into
+    /// `slots[node]` and notify.
+    FillSlot(usize),
+}
+
+/// Where a thread stands in the two-phase park protocol.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum ParkState {
+    /// Running normally.
+    Active,
+    /// Has incremented the sleeper count (prepare-park); its next step is
+    /// the under-lock re-check that commits or aborts.
+    Preparing,
+    /// Committed to the condvar wait; only a producer wake resumes it.
+    Parked,
+}
+
+#[derive(Clone, Debug)]
+struct VThread {
+    /// `Some(index)` for pool workers (index into the deques), `None`
+    /// for the external thread that owns the root join.
+    worker: Option<usize>,
+    frames: Vec<Frame>,
+    /// Results of completed sub-executions: `true` = panicked. Stack
+    /// discipline mirrors the native call stack of the runtime.
+    results: Vec<bool>,
+    park: ParkState,
+}
+
+// ---------------------------------------------------------------------------
+// The model state: real queues + virtual threads.
+// ---------------------------------------------------------------------------
+
+/// Jobs in the model queues are task-node ids; node id doubles as the
+/// id of the join slot the job must fill.
+#[derive(Clone, Debug)]
+struct ModelState {
+    injector: Injector<usize>,
+    deques: Vec<WorkerDeque<usize>>,
+    /// Join slots, indexed by node id (only fork right-children used):
+    /// `Some(panicked)` once the forked job completed.
+    slots: Vec<Option<bool>>,
+    /// Per-node leaf execution counts — the no-lost-jobs ledger.
+    executed: Vec<u32>,
+    threads: Vec<VThread>,
+    /// The model's sleeper counter (the runtime's `AtomicUsize`).
+    sleepers: usize,
+    /// Filled when the external thread finishes the root task.
+    root_result: Option<bool>,
+}
+
+impl ModelState {
+    fn new(tree: &Tree, root: usize, workers: usize) -> Self {
+        let mut threads = vec![VThread {
+            worker: None,
+            frames: vec![Frame::Exec(root)],
+            results: Vec::new(),
+            park: ParkState::Active,
+        }];
+        for index in 0..workers {
+            threads.push(VThread {
+                worker: Some(index),
+                frames: Vec::new(),
+                results: Vec::new(),
+                park: ParkState::Active,
+            });
+        }
+        ModelState {
+            injector: Injector::new(),
+            deques: (0..workers).map(|_| WorkerDeque::new()).collect(),
+            slots: vec![None; tree.nodes.len()],
+            executed: vec![0; tree.nodes.len()],
+            threads,
+            sleepers: 0,
+            root_result: None,
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.root_result.is_some()
+    }
+
+    /// Threads the scheduler may advance: everyone not committed to the
+    /// condvar (a parked thread only resumes via a producer wake).
+    fn steppable(&self, t: usize) -> bool {
+        !self.done() && self.threads[t].park != ParkState::Parked
+    }
+
+    fn has_queued_work(&self) -> bool {
+        !self.injector.is_empty() || self.deques.iter().any(|d| !d.is_empty())
+    }
+
+    /// The runtime's `find_work` acquisition order, over the real
+    /// structures: a worker pops its own bottom, drains the injector
+    /// FIFO, then steals the other tops round-robin; the external thread
+    /// steals back from the injector LIFO, then steals the tops.
+    fn find_work(&mut self, t: usize) -> Option<(usize, &'static str)> {
+        match self.threads[t].worker {
+            Some(index) => {
+                if let Some(job) = self.deques[index].pop_bottom() {
+                    return Some((job, "pop-own"));
+                }
+                if let Some(job) = self.injector.steal() {
+                    return Some((job, "steal-injector"));
+                }
+                for victim in steal_order(index, self.deques.len()) {
+                    if let Some(job) = self.deques[victim].steal_top() {
+                        return Some((job, "steal-deque"));
+                    }
+                }
+                None
+            }
+            None => {
+                if let Some(job) = self.injector.pop_back() {
+                    return Some((job, "steal-back"));
+                }
+                for victim in 0..self.deques.len() {
+                    if let Some(job) = self.deques[victim].steal_top() {
+                        return Some((job, "steal-deque"));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Producer-side wake: notify-all resumes every committed sleeper;
+    /// preparing threads are untouched — their own commit re-check will
+    /// observe whatever this producer just published.
+    fn notify(&mut self) -> bool {
+        if self.sleepers == 0 {
+            return false;
+        }
+        let mut woke = false;
+        for th in &mut self.threads {
+            if th.park == ParkState::Parked {
+                th.park = ParkState::Active;
+                self.sleepers -= 1;
+                woke = true;
+            }
+        }
+        woke
+    }
+
+    /// The wait condition a parker re-checks under the sleep lock before
+    /// committing: queued work, or — for a joiner — its slot.
+    fn wake_condition(&self, t: usize) -> bool {
+        if self.has_queued_work() {
+            return true;
+        }
+        match self.threads[t].frames.last() {
+            Some(Frame::JoinWait(node)) => self.slots[*node].is_some(),
+            _ => false,
+        }
+    }
+
+    /// Advances thread `t` by one transition; returns its label for the
+    /// coverage ledger. Each arm is one mutex-guarded critical section of
+    /// the runtime.
+    fn step(&mut self, tree: &Tree, t: usize) -> &'static str {
+        match self.threads[t].park {
+            ParkState::Parked => unreachable!("parked threads are not steppable"),
+            ParkState::Preparing => {
+                // park-commit: the under-lock re-check after the sleeper
+                // increment. This is the transition whose absence caused
+                // the wait_join missed-wakeup bug.
+                if self.wake_condition(t) {
+                    self.sleepers -= 1;
+                    self.threads[t].park = ParkState::Active;
+                    "park-abort"
+                } else {
+                    self.threads[t].park = ParkState::Parked;
+                    "park-commit"
+                }
+            }
+            ParkState::Active => self.step_active(tree, t),
+        }
+    }
+
+    fn step_active(&mut self, tree: &Tree, t: usize) -> &'static str {
+        match self.threads[t].frames.last().copied() {
+            None => {
+                if self.threads[t].worker.is_none() {
+                    // The external thread's stack drained: the root task
+                    // is fully joined.
+                    let panicked = self.threads[t]
+                        .results
+                        .pop()
+                        .expect("root result must be on the stack");
+                    self.root_result = Some(panicked);
+                    return "root-done";
+                }
+                // Worker main loop: claim a job or head for the condvar.
+                if let Some((job, label)) = self.find_work(t) {
+                    let th = &mut self.threads[t];
+                    th.frames.push(Frame::FillSlot(job));
+                    th.frames.push(Frame::Exec(job));
+                    label
+                } else {
+                    self.sleepers += 1;
+                    self.threads[t].park = ParkState::Preparing;
+                    "prepare-park"
+                }
+            }
+            Some(Frame::Exec(node)) => match tree.nodes[node] {
+                Node::Leaf { panics } => {
+                    self.executed[node] += 1;
+                    let th = &mut self.threads[t];
+                    th.frames.pop();
+                    th.results.push(panics);
+                    "leaf-complete"
+                }
+                Node::Fork { left, right } => {
+                    // rayon::join: push the right child, continue into
+                    // the left inline, wait for the right's slot after.
+                    let th = &mut self.threads[t];
+                    th.frames.pop();
+                    th.frames.push(Frame::JoinWait(right));
+                    th.frames.push(Frame::Exec(left));
+                    match self.threads[t].worker {
+                        Some(index) => self.deques[index].push_bottom(right),
+                        None => self.injector.push(right),
+                    }
+                    self.notify();
+                    "push"
+                }
+            },
+            Some(Frame::JoinWait(node)) => {
+                if let Some(right_panicked) = self.slots[node] {
+                    let th = &mut self.threads[t];
+                    let left_panicked = th.results.pop().expect("left result on the stack");
+                    th.frames.pop();
+                    th.results.push(left_panicked || right_panicked);
+                    "join-complete"
+                } else if let Some((job, label)) = self.find_work(t) {
+                    let th = &mut self.threads[t];
+                    th.frames.push(Frame::FillSlot(job));
+                    th.frames.push(Frame::Exec(job));
+                    label
+                } else {
+                    self.sleepers += 1;
+                    self.threads[t].park = ParkState::Preparing;
+                    "prepare-park"
+                }
+            }
+            Some(Frame::FillSlot(node)) => {
+                let th = &mut self.threads[t];
+                let panicked = th.results.pop().expect("job result on the stack");
+                th.frames.pop();
+                self.slots[node] = Some(panicked);
+                if self.notify() {
+                    "complete-wake"
+                } else {
+                    "complete"
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DFS exploration.
+// ---------------------------------------------------------------------------
+
+struct Explorer<'a> {
+    tree: &'a Tree,
+    config: &'static str,
+    /// Stop after this many complete schedules (keeps the job bounded).
+    cap: usize,
+    schedules: usize,
+    exhausted: bool,
+    coverage: BTreeMap<&'static str, u64>,
+}
+
+impl<'a> Explorer<'a> {
+    fn new(tree: &'a Tree, config: &'static str, cap: usize) -> Self {
+        Explorer {
+            tree,
+            config,
+            cap,
+            schedules: 0,
+            exhausted: true,
+            coverage: BTreeMap::new(),
+        }
+    }
+
+    fn run(&mut self, root: usize, workers: usize) {
+        let state = ModelState::new(self.tree, root, workers);
+        self.dfs(&state, 0);
+    }
+
+    fn dfs(&mut self, state: &ModelState, depth: usize) {
+        if self.schedules >= self.cap {
+            self.exhausted = false;
+            return;
+        }
+        if state.done() {
+            self.verify(state);
+            self.schedules += 1;
+            return;
+        }
+        let mut choices: Vec<usize> = (0..state.threads.len())
+            .filter(|&t| state.steppable(t))
+            .collect();
+        assert!(
+            !choices.is_empty(),
+            "[{}] deadlock: root join incomplete but every thread is parked \
+             (lost wakeup); state: {state:#?}",
+            self.config,
+        );
+        // Rotate the choice order by depth: plain ascending order would
+        // spend the whole budget on external-thread-first prefixes and
+        // never reach the schedules where workers participate early.
+        let rotation = depth % choices.len();
+        choices.rotate_left(rotation);
+        for t in choices {
+            let mut next = state.clone();
+            let label = next.step(self.tree, t);
+            *self.coverage.entry(label).or_insert(0) += 1;
+            self.dfs(&next, depth + 1);
+            if self.schedules >= self.cap {
+                self.exhausted = false;
+                return;
+            }
+        }
+    }
+
+    /// Per-schedule assertions: exactly-once execution, drained queues,
+    /// correct panic propagation, and a consistent sleeper ledger.
+    fn verify(&self, state: &ModelState) {
+        for (node, count) in state.executed.iter().enumerate() {
+            if matches!(self.tree.nodes[node], Node::Leaf { .. }) {
+                assert_eq!(
+                    *count, 1,
+                    "[{}] leaf {node} executed {count} times (lost or duplicated job)",
+                    self.config
+                );
+            }
+        }
+        assert!(
+            state.injector.is_empty() && state.deques.iter().all(|d| d.is_empty()),
+            "[{}] queues must drain by the time the root join completes",
+            self.config
+        );
+        assert_eq!(
+            state.root_result,
+            Some(self.tree.any_leaf_panics()),
+            "[{}] the root must observe a panic iff some leaf panicked",
+            self.config
+        );
+        let limbo = state
+            .threads
+            .iter()
+            .filter(|th| th.park != ParkState::Active)
+            .count();
+        assert_eq!(
+            state.sleepers, limbo,
+            "[{}] sleeper counter out of sync with parked threads",
+            self.config
+        );
+    }
+}
+
+/// Builds the tree for a config, runs the DFS, and returns the explorer
+/// with its schedule count and coverage ledger.
+fn explore(
+    config: &'static str,
+    workers: usize,
+    cap: usize,
+    build: impl FnOnce(&mut Tree) -> usize,
+) -> Explorer<'static> {
+    // The tree lives for the test; leaking it keeps Explorer simple.
+    let mut tree = Tree::default();
+    let root = build(&mut tree);
+    let tree: &'static Tree = Box::leak(Box::new(tree));
+    let mut explorer = Explorer::new(tree, config, cap);
+    explorer.run(root, workers);
+    explorer
+}
+
+// ---------------------------------------------------------------------------
+// Tests.
+// ---------------------------------------------------------------------------
+
+/// One fork, one worker: small enough to exhaust the entire schedule
+/// space, so *every* possible interleaving is verified, not a sample.
+#[test]
+fn minimal_fork_is_exhaustively_correct() {
+    let ex = explore("fork(leaf,leaf) x1worker", 1, usize::MAX, |t| {
+        let l = t.leaf(false);
+        let r = t.leaf(false);
+        t.fork(l, r)
+    });
+    assert!(ex.exhausted, "the minimal config must be fully explored");
+    assert!(ex.schedules > 0);
+    // The defining races all occur even in the minimal config.
+    for required in ["push", "park-commit", "prepare-park"] {
+        assert!(
+            ex.coverage.contains_key(required),
+            "minimal config never hit `{required}`: {:?}",
+            ex.coverage
+        );
+    }
+}
+
+/// A panicking leaf: the root must observe the panic on every schedule,
+/// including those where a worker steals and completes the panicking job
+/// while the external thread is parked.
+#[test]
+fn panics_propagate_on_every_schedule() {
+    for (config, left_panics, right_panics) in [
+        ("panic-left x1worker", true, false),
+        ("panic-right x1worker", false, true),
+        ("panic-both x1worker", true, true),
+    ] {
+        let ex = explore(config, 1, usize::MAX, |t| {
+            let l = t.leaf(left_panics);
+            let r = t.leaf(right_panics);
+            t.fork(l, r)
+        });
+        assert!(ex.exhausted, "[{config}] must be fully explored");
+        assert!(ex.schedules > 0, "[{config}]");
+    }
+}
+
+/// Nested forks across worker counts: the full matrix. Asserts the
+/// acceptance-criteria floor — at least 1000 distinct interleavings in
+/// total — and that the coverage ledger shows every transition family
+/// (push, every steal flavour, both park phases plus the abort, and
+/// completions with producer wakes) actually raced.
+#[test]
+fn schedule_matrix_covers_push_steal_park_complete() {
+    let mut total_schedules = 0usize;
+    let mut coverage: BTreeMap<&'static str, u64> = BTreeMap::new();
+
+    // workers=0: the external thread does everything through the
+    // injector steal-back path (no deques at all). The right child is
+    // itself a fork, so the steal-back claims a job that pushes again.
+    let ex = explore("nested x0workers", 0, 100_000, |t| {
+        let a = t.leaf(false);
+        let b = t.leaf(false);
+        let inner = t.fork(a, b);
+        let c = t.leaf(false);
+        t.fork(c, inner)
+    });
+    assert!(ex.exhausted, "x0workers is serial and must exhaust");
+    total_schedules += ex.schedules;
+    for (k, v) in &ex.coverage {
+        *coverage.entry(k).or_insert(0) += v;
+    }
+
+    // workers=1: every external/worker race over one deque + injector.
+    // The pushed (right) child is a fork: a worker that steals it pushes
+    // the grandchild onto its *own* deque — the pop-own / steal-deque
+    // races live here.
+    let ex = explore("nested x1worker", 1, 100_000, |t| {
+        let a = t.leaf(false);
+        let b = t.leaf(false);
+        let inner = t.fork(a, b);
+        let c = t.leaf(false);
+        t.fork(c, inner)
+    });
+    total_schedules += ex.schedules;
+    for (k, v) in &ex.coverage {
+        *coverage.entry(k).or_insert(0) += v;
+    }
+
+    // workers=2: three-way races; a worker that steals a fork pushes the
+    // grandchild onto its *own* deque, exercising pop-own vs steal-deque.
+    let ex = explore("deep x2workers", 2, 150_000, |t| {
+        let a = t.leaf(false);
+        let b = t.leaf(false);
+        let left = t.fork(a, b);
+        let c = t.leaf(false);
+        let d = t.leaf(false);
+        let right = t.fork(c, d);
+        t.fork(left, right)
+    });
+    total_schedules += ex.schedules;
+    for (k, v) in &ex.coverage {
+        *coverage.entry(k).or_insert(0) += v;
+    }
+
+    // workers=2 with a panicking leaf under contention, behind the
+    // pushed fork so the panic frequently surfaces on a worker.
+    let ex = explore("deep-panic x2workers", 2, 100_000, |t| {
+        let a = t.leaf(false);
+        let b = t.leaf(true);
+        let inner = t.fork(a, b);
+        let c = t.leaf(false);
+        t.fork(c, inner)
+    });
+    total_schedules += ex.schedules;
+    for (k, v) in &ex.coverage {
+        *coverage.entry(k).or_insert(0) += v;
+    }
+
+    assert!(
+        total_schedules >= 1000,
+        "need >= 1000 distinct interleavings, explored {total_schedules}"
+    );
+    for required in [
+        "push",
+        "pop-own",
+        "steal-injector",
+        "steal-deque",
+        "steal-back",
+        "prepare-park",
+        "park-commit",
+        "park-abort",
+        "leaf-complete",
+        "complete",
+        "complete-wake",
+        "join-complete",
+        "root-done",
+    ] {
+        assert!(
+            coverage.contains_key(required),
+            "transition `{required}` never explored; coverage: {coverage:?}"
+        );
+    }
+    println!("schedules: {total_schedules} distinct interleavings; coverage: {coverage:?}");
+}

@@ -11,12 +11,17 @@
 //! `reuse_buffers_arena` pins that layout explicitly,
 //! `reuse_buffers_pernode` pins the legacy per-node layout under the PR 4
 //! fused pipeline (the arena win's denominator), and `reuse_buffers_flat`
-//! pins the flat (pre-fusion) pipeline. `reuse_buffers_sharded` runs the
-//! sharded arena merge; the `full_execution` benchmarks include
-//! construction, pid assignment, and buffer warm-up. With `--features
-//! parallel` the same workloads are additionally run through the parallel
-//! honest phase + pooled shard delivery for comparison
-//! (`BCOUNT_POOL_THREADS` sizes the pool).
+//! pins the flat (pre-fusion) pipeline. `reuse_buffers_sharded` requests
+//! the sharded arena merge — since PR 7 the shard count is autotuned to
+//! the pool width, so in this serial lane it collapses to one shard and
+//! delegates to the unsharded arena pipeline (the number documents that
+//! requesting sharding costs nothing when there are no workers to feed);
+//! the `full_execution` benchmarks include construction, pid assignment,
+//! and buffer warm-up. With `--features parallel` the same workloads are
+//! additionally run through the parallel honest phase, and
+//! `reuse_buffers_parallel_sharded` exercises the real multi-shard
+//! owner-computes delivery (`BCOUNT_POOL_THREADS` sizes the pool — with
+//! ≥ 2 workers the autotune hands out one destination range per worker).
 //!
 //! The `engine_phases` group decomposes one round. Legacy phases: `merge`
 //! is honest compute + the deterministic *flat* merge with delivery

@@ -100,12 +100,29 @@
 //!    spans — permuting the small parallel arrays through the same
 //!    index-based cycle walk instead of whole envelopes.
 //!
-//! Under [`SimConfig::sharded_merge`] the two passes run **per shard**
-//! over the per-destination-range queues (each shard counts, prefix-sums
-//! from its queue-length base, and scatters its own contiguous arena
-//! slice), so with the `parallel` feature the whole merge→delivery
-//! pipeline — not just the scatter — fans out over
-//! [`crate::pool`]. The arena rides on the fused pipeline's license:
+//! The merge's metrics/monotonicity scan itself fans out over
+//! [`crate::pool`] when [`SimConfig::parallel`] is set: disjoint node
+//! chunks each fold a stack-local accumulator (message count,
+//! monotonicity, broadcast-shape flags) and write their own
+//! [`crate::metrics::NodeMetrics`] rows, with the partial accumulators
+//! combined **left-before-right whatever the scheduling**
+//! ([`crate::pool::map_split`]) so the result is bit-identical to the
+//! serial sweep.
+//!
+//! Under [`SimConfig::sharded_merge`] the shard count is **autotuned**:
+//! `min(pool workers, slot_total / 512)`, clamped to at least 1 — shards
+//! exist to feed workers, so a serial run (or a tiny graph) gets exactly
+//! one shard and silently **delegates to the unsharded arena pipeline
+//! above**, which is faster than any queue-partitioned schedule when
+//! nothing runs concurrently. With two or more shards, delivery runs
+//! **owner-computes**: on monotone rounds each lane owns a contiguous
+//! destination range of the arena and scans *all* outboxes in
+//! increasing-pid order, cloning only the messages destined for its
+//! range — no intermediate shard queues, no cross-lane writes, and the
+//! same per-destination write order as the serial scatter. Non-monotone
+//! rounds (or Byzantine floods past the arena's slack) fall back to a
+//! pid-ordered partition into per-range queues drained by the same
+//! lanes. The arena rides on the fused pipeline's license:
 //! it activates only when the adversary declares
 //! [`Adversary::observes_traffic`]` == false` and the counting sort is
 //! selected; an observing adversary (or the reference oracle) silently
@@ -122,7 +139,7 @@ use rand_chacha::ChaCha8Rng;
 use crate::adversary::{Adversary, ByzantineContext, FullInfoView};
 use crate::idspace::{assign_pids, Pid, PidIndex, SenderRanks};
 use crate::message::{DeliveryMap, Envelope, Inbox, InboxArena, InboxesView, MessageSize};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, NodeMetrics};
 use crate::protocol::{NodeContext, Protocol};
 
 /// Marker bound on protocol state enabling the `parallel` feature to move
@@ -554,11 +571,21 @@ where
                 }
             })
             .collect();
-        // Shard count for the sharded merge: enough shards to split real
-        // workloads, capped so tiny simulations don't fragment. The count
-        // never affects transcripts (sharding preserves per-destination
-        // order), only how delivery work is partitioned.
-        let num_shards = n.div_ceil(256).clamp(2, 16);
+        // Shard count for the sharded merge: one delivery lane per pool
+        // worker (there is no one else to run a finer partition), trimmed
+        // so each shard keeps at least [`MIN_SLOTS_PER_SHARD`] arena
+        // slots of scatter work — a serial run (or a tiny graph) gets a
+        // single shard and skips the partition entirely. The count never
+        // affects transcripts (sharding preserves per-destination order),
+        // only how delivery work is partitioned.
+        let slot_total = graph.degree_sum();
+        let num_shards = if config.sharded_merge {
+            pool_workers(config.parallel)
+                .min(slot_total.div_ceil(MIN_SLOTS_PER_SHARD))
+                .max(1)
+        } else {
+            1
+        };
         let sender_counts = vec![0; sender_ranks.total()];
         // Fusion is licensed by the adversary (it gives up the flat
         // honest-traffic view) and only implemented for the counting sort;
@@ -614,8 +641,13 @@ where
         // legacy layout can actually run (the arena keeps them empty).
         let degree = |v: usize| graph.degree(NodeId(v as u32));
         let per_node_cap = |v: usize| if arena_active { 0 } else { degree(v) };
+        // The queues carry traffic whenever the legacy sharded paths run,
+        // and on the multi-shard arena's non-monotone fallback; a
+        // single-shard arena delegates to the unsharded pipeline and
+        // never touches them.
+        let shard_queues_used = config.sharded_merge && (num_shards > 1 || !arena_active);
         let shard_cap = |s: usize| {
-            if config.sharded_merge {
+            if shard_queues_used {
                 (shard_start(s, n, num_shards)..shard_start(s + 1, n, num_shards))
                     .map(degree)
                     .sum()
@@ -623,7 +655,6 @@ where
                 0
             }
         };
-        let slot_total = graph.degree_sum();
         let arena_cap = if arena_active { slot_total } else { 0 };
         let flat_cap = if licensed { 0 } else { slot_total };
         // The fast path's static placement: node v's span starts at the
@@ -799,12 +830,12 @@ where
     /// `honest_outgoing`.
     fn merge_phase(&mut self) {
         if self.arena_active {
-            if self.config.sharded_merge {
-                // The shard partition doubles as the arena's count pass:
-                // queue lengths are the per-shard totals, and each shard
-                // counts its own queue per destination at delivery time.
-                self.merge_fused_sharded();
-            } else if self.sparse_active {
+            // All arena shapes (sharded or not) run the same metrics +
+            // monotonicity scan — parallel over sender chunks when
+            // configured — and leave the outboxes full for delivery; the
+            // sharded variants partition (or scatter owner-computes) at
+            // delivery time instead of pushing queues here.
+            if self.sparse_active {
                 self.merge_arena_count_sparse();
             } else {
                 self.merge_arena_count();
@@ -1055,47 +1086,58 @@ where
     /// **degree-presized** span and the fast path can place messages with
     /// the static [`Simulation::deg_offsets`] — no counting, no prefix
     /// sum. A non-monotone round (several sends through one slot) falls
-    /// back to the exact two-pass merge: the count pass runs here.
-    /// Outboxes are left full either way — the scatter drains them at
-    /// delivery time, after the adversary has committed.
+    /// back to the exact two-pass merge: the count pass runs here (on the
+    /// unsharded pipeline — the sharded fallback partitions into queues
+    /// at delivery time and carries its counts there). Outboxes are left
+    /// full either way — the scatter drains them at delivery time, after
+    /// the adversary has committed.
+    ///
+    /// The scan itself fans out over sender chunks when configured: each
+    /// worker carries a stack [`MergeAcc`] (messages sent, monotonicity,
+    /// broadcast-pattern flags) and writes metrics only into its own
+    /// chunk-disjoint `per_node` slice; the accumulators fold
+    /// left-to-right at round end, so the totals are bit-identical to the
+    /// serial sweep's whatever the scheduling.
     fn merge_arena_count(&mut self) {
-        let id_bits = self.config.id_bits;
-        let mut sent = 0u64;
-        let mut monotone = true;
-        let mut bcast = true;
-        for u in 0..self.graph.len() {
-            let outbox = &self.outboxes[u];
-            let expected =
-                &self.bcast_slots[self.bcast_bases[u] as usize..self.bcast_bases[u + 1] as usize];
-            if outbox.is_empty() {
-                // A silent node breaks the everyone-broadcasts pattern
-                // (unless it has no neighbours to reach).
-                bcast &= expected.is_empty();
-                continue;
-            }
-            bcast &= outbox.len() == expected.len();
-            let count = outbox.len() as u64;
-            let mut bits = 0u64;
-            let mut max_bits = 0u64;
-            let mut last_slot = u32::MAX;
-            for (i, &(slot, ref msg)) in outbox.iter().enumerate() {
-                monotone &= last_slot == u32::MAX || slot > last_slot;
-                last_slot = slot;
-                if bcast {
-                    bcast = expected[i] == slot;
-                }
-                let size = msg.size_bits(id_bits);
-                bits += size;
-                max_bits = max_bits.max(size);
-            }
-            self.metrics.per_node[u].record_batch(count, bits, max_bits);
-            sent += count;
-        }
-        self.round_honest_messages = sent;
-        self.arena_fast_round = monotone;
-        self.arena_bcast_round = bcast;
-        debug_assert!(monotone || !bcast, "the broadcast pattern is monotone");
-        if !monotone {
+        let n = self.graph.len();
+        #[cfg(feature = "parallel")]
+        let parallel = self.config.parallel;
+        #[cfg(not(feature = "parallel"))]
+        let parallel = false;
+        // One leaf per ~4 chunks per worker (the honest phase's rule); a
+        // serial run keeps the single-sweep shape.
+        let chunk = if parallel {
+            n.div_ceil(pool_workers(true) * 4).max(64)
+        } else {
+            n
+        };
+        let shared = MergeScanShared {
+            id_bits: self.config.id_bits,
+            bcast_slots: &self.bcast_slots,
+            bcast_bases: &self.bcast_bases,
+        };
+        let lane = MergeScanLane {
+            base: 0,
+            outboxes: &self.outboxes,
+            per_node: &mut self.metrics.per_node,
+        };
+        let acc = crate::pool::map_split(
+            lane,
+            parallel,
+            &|lane: MergeScanLane<'_, P::Message>| split_merge_scan_lane(lane, chunk),
+            &|lane: MergeScanLane<'_, P::Message>| merge_scan_leaf(shared, lane),
+            &MergeAcc::fold,
+        );
+        self.round_honest_messages = acc.sent;
+        self.arena_fast_round = acc.monotone;
+        self.arena_bcast_round = acc.bcast;
+        debug_assert!(
+            acc.monotone || !acc.bcast,
+            "the broadcast pattern is monotone"
+        );
+        if !acc.monotone && !self.sharded_lanes_active() {
+            // `dest_counts` must stay zeroed on the sharded fallback —
+            // its delivery lanes use it as cursor scratch.
             self.count_dests();
         }
     }
@@ -1589,14 +1631,66 @@ where
         }
     }
 
-    /// Arena delivery, sharded: the fused shard partition already split
-    /// the honest traffic (in pid order) into per-destination-range
-    /// queues; append the Byzantine traffic, fix each shard's contiguous
-    /// arena slice from the queue lengths, and run count → local
-    /// prefix-sum → scatter → sort *per shard* — in parallel when
-    /// configured, through the same [`crate::pool`] splitter as the rest
-    /// of the engine.
+    /// Whether the multi-shard arena delivery lanes are engaged: sharding
+    /// requested **and** more than one shard derived from the pool size.
+    /// A single-shard run delegates merge and delivery to the unsharded
+    /// arena pipeline wholesale — byte-identical transcripts without the
+    /// partition overhead, which is what recovered the serial
+    /// `reuse_buffers_sharded` throughput.
+    fn sharded_lanes_active(&self) -> bool {
+        self.config.sharded_merge && self.shard_queues.len() > 1
+    }
+
+    /// Arena delivery, sharded. A monotone round with fitting Byzantine
+    /// traffic takes the **owner-computes** fast path: every destination
+    /// keeps its static degree-presized span, each lane owns a contiguous
+    /// destination range, and lanes scatter concurrently straight from
+    /// the shared outboxes — no queue partition at all. Oversized rounds
+    /// fall back to the queue pipeline: partition the outboxes (serially,
+    /// pid order preserved), then count → local prefix-sum → scatter →
+    /// sort per shard.
     fn deliver_arena_sharded(&mut self) {
+        if self.arena_fast_round && self.byz_traffic_fits() {
+            self.deliver_arena_sharded_fast();
+            return;
+        }
+        self.partition_shard_queues();
+        self.deliver_arena_sharded_queued();
+    }
+
+    /// The queue partition of the sharded fallback: drains every honest
+    /// outbox in increasing-pid order into its destination-range shard
+    /// queue — [`Simulation::merge_fused_sharded`]'s routing without the
+    /// metrics pass (the merge scan already recorded them).
+    fn partition_shard_queues(&mut self) {
+        let n = self.graph.len();
+        let num_shards = self.shard_queues.len();
+        for &u in &self.pid_order {
+            let u = u as usize;
+            let outbox = &mut self.outboxes[u];
+            if outbox.is_empty() {
+                continue;
+            }
+            let sender = NodeId(u as u32);
+            let targets = self.delivery_map.targets_of(u);
+            for (slot, msg) in outbox.drain(..) {
+                let target = targets[slot as usize];
+                self.shard_queues[shard_of(target.to.index(), n, num_shards)].push(Routed {
+                    sender,
+                    to: target.to,
+                    rank: target.rank,
+                    msg,
+                });
+            }
+        }
+    }
+
+    /// The queued sharded delivery: append the Byzantine traffic to the
+    /// partitioned queues, fix each shard's contiguous arena slice from
+    /// the queue lengths, and run count → local prefix-sum → scatter →
+    /// sort *per shard* — in parallel when configured, through the same
+    /// [`crate::pool`] splitter as the rest of the engine.
+    fn deliver_arena_sharded_queued(&mut self) {
         let n = self.graph.len();
         let num_shards = self.shard_queues.len();
         for ((from, to, msg), rank) in self.byz_outgoing.drain(..).zip(self.byz_ranks.drain(..)) {
@@ -1638,6 +1732,86 @@ where
             arena.grow_to(total, filler);
         }
         self.run_arena_lanes();
+    }
+
+    /// The owner-computes sharded fast scatter: a monotone round with
+    /// fitting Byzantine traffic places every message at a position fully
+    /// determined by the static degree-prefix offsets, so no lane depends
+    /// on any other — each lane owns the destination range of its shard
+    /// span, reads **all** outboxes (shared, read-only, pid order) and
+    /// clones just the messages routed into its range, appends the
+    /// range-filtered Byzantine traffic, and counting-sorts its own
+    /// Byzantine-adjacent spans. The per-destination content equals
+    /// [`Simulation::deliver_arena_fast`]'s exactly (same placement rule,
+    /// same visitation order), so transcripts are unchanged; the extra
+    /// read-only scan per lane is the price of zero cross-lane
+    /// coordination. Outboxes are cleared serially afterwards.
+    fn deliver_arena_sharded_fast(&mut self) {
+        let n = self.graph.len();
+        let slot_total = self.graph.degree_sum();
+        let arena = &mut self.arena_staged;
+        arena.senders_static = false;
+        arena.lens_full = false;
+        if arena.msgs.len() < slot_total {
+            if let Some(filler) = self
+                .outboxes
+                .iter()
+                .find_map(|ob| ob.first().map(|(_, m)| m.clone()))
+                .or_else(|| self.byz_outgoing.first().map(|(_, _, m)| m.clone()))
+            {
+                arena.grow_to(slot_total, filler);
+            } else {
+                // A silent round before any traffic existed: nothing to
+                // place, and no filler to grow with.
+                for len in &mut arena.lens {
+                    *len = 0;
+                }
+                return;
+            }
+        }
+        let geometry = ArenaFastGeometry {
+            n,
+            shards: self.shard_queues.len(),
+            slot_total: slot_total as u32,
+            deg_offsets: &self.deg_offsets,
+            senders: &self.sender_ranks,
+            byz_adjacent: &self.byz_adjacent,
+            pid_order: &self.pid_order,
+            outboxes: &self.outboxes,
+            delivery_map: &self.delivery_map,
+            byz_outgoing: &self.byz_outgoing,
+            byz_ranks: &self.byz_ranks,
+            // A two-pass round may have repacked the offsets; each lane
+            // restores its own slice of the static degree prefix.
+            restore_offsets: !arena.offsets_static,
+        };
+        let lane = ArenaFastLane {
+            first_shard: 0,
+            shard_count: geometry.shards,
+            base_node: 0,
+            offsets: &mut arena.offsets[..n],
+            lens: &mut arena.lens[..n],
+            senders: &mut arena.senders[..slot_total],
+            msgs: &mut arena.msgs[..slot_total],
+            ranks: &mut arena.ranks[..slot_total],
+            pos: &mut self.inbox_pos,
+            sort_counts: &mut self.sender_counts,
+        };
+        let parallel = self.config.parallel;
+        crate::pool::for_each_split(
+            lane,
+            parallel,
+            &|lane: ArenaFastLane<'_, P::Message>| split_arena_fast_lane(geometry, lane),
+            &|lane: ArenaFastLane<'_, P::Message>| arena_fast_lane_leaf(geometry, lane),
+        );
+        arena.offsets_static = true;
+        // The lanes read without draining (every lane scans every
+        // outbox); reset the shared sources now that the scatter is done.
+        for outbox in &mut self.outboxes {
+            outbox.clear();
+        }
+        self.byz_outgoing.clear();
+        self.byz_ranks.clear();
     }
 
     /// Fans the per-shard count/prefix/scatter/sort leaves out over the
@@ -1729,9 +1903,12 @@ where
             }
         }
         if self.arena_active {
-            // The count pass (or shard partition) already ran in the
-            // merge; place, scatter, and sort into the staged arena.
-            if self.config.sharded_merge {
+            // The merge scan already ran (and, unsharded, the count pass
+            // where needed); place, scatter, and sort into the staged
+            // arena. A single-shard "sharded" run delegates to the
+            // unsharded pipeline outright — same transcripts, none of the
+            // partition overhead.
+            if self.sharded_lanes_active() {
                 self.deliver_arena_sharded();
             } else if self.sparse_active {
                 self.deliver_arena_sparse();
@@ -2029,8 +2206,9 @@ where
                 ranks.clear();
             }
         }
-        if self.arena_active && !self.config.sharded_merge {
-            // The count pass left the outboxes full and the tallies
+        if self.arena_active {
+            // The merge left the outboxes full (delivery is what drains
+            // them on every arena shape) and possibly the tallies
             // populated; discard both.
             for outbox in &mut self.outboxes {
                 outbox.clear();
@@ -2229,6 +2407,31 @@ impl<M> TrafficSnapshot<M> {
     }
 }
 
+/// The smallest shard worth creating, in arena slots (directed edges): a
+/// delivery lane below this is all fork/steal overhead and no scatter.
+/// Small enough that the multi-shard paths engage on modest test graphs
+/// once two or more workers exist, large enough that a lane amortizes its
+/// scheduling cost.
+const MIN_SLOTS_PER_SHARD: usize = 512;
+
+/// How many workers the engine's fork-join lanes can actually occupy:
+/// the current pool's thread count when the `parallel` feature and the
+/// run's [`SimConfig::parallel`] flag are both on, else 1.
+#[cfg(feature = "parallel")]
+fn pool_workers(parallel: bool) -> usize {
+    if parallel {
+        rayon::current_num_threads()
+    } else {
+        1
+    }
+}
+
+/// Serial build: the pool does not exist, so one worker.
+#[cfg(not(feature = "parallel"))]
+fn pool_workers(_parallel: bool) -> usize {
+    1
+}
+
 /// The shard a destination node belongs to: contiguous node ranges, the
 /// `s`-th covering `[ceil(s·n/S), ceil((s+1)·n/S))`.
 fn shard_of(v: usize, n: usize, shards: usize) -> usize {
@@ -2333,6 +2536,120 @@ fn finish_inbox_soa<M>(
             pos.swap(i, j);
         }
     }
+}
+
+/// One worker's arena merge-scan accumulator: messages counted, the
+/// strict-monotonicity flag, and the broadcast-pattern flag, all on the
+/// stack — no per-worker heap state, which is what keeps the parallel
+/// merge scan inside the engine's zero-allocation steady state.
+#[derive(Clone, Copy)]
+struct MergeAcc {
+    sent: u64,
+    monotone: bool,
+    bcast: bool,
+}
+
+impl MergeAcc {
+    /// Deterministic fold of two chunk accumulators. Commutative and
+    /// associative (sum and two ANDs), and [`crate::pool::map_split`]
+    /// folds left-to-right regardless — either property alone already
+    /// pins the result to the serial sweep's.
+    fn fold(a: MergeAcc, b: MergeAcc) -> MergeAcc {
+        MergeAcc {
+            sent: a.sent + b.sent,
+            monotone: a.monotone && b.monotone,
+            bcast: a.bcast && b.bcast,
+        }
+    }
+}
+
+/// Read-only inputs shared by every merge-scan chunk.
+#[derive(Clone, Copy)]
+struct MergeScanShared<'a> {
+    id_bits: u32,
+    bcast_slots: &'a [u32],
+    bcast_bases: &'a [u32],
+}
+
+/// One contiguous sender chunk of the arena merge scan: the chunk's
+/// outboxes (read-only) and its disjoint slice of the per-node metrics.
+struct MergeScanLane<'a, M> {
+    base: usize,
+    outboxes: &'a [Vec<(u32, M)>],
+    per_node: &'a mut [NodeMetrics],
+}
+
+/// Halves a merge-scan lane until it is at most `chunk` senders wide.
+fn split_merge_scan_lane<M>(
+    lane: MergeScanLane<'_, M>,
+    chunk: usize,
+) -> crate::pool::Split<MergeScanLane<'_, M>> {
+    if lane.outboxes.len() <= chunk {
+        return crate::pool::Split::Leaf(lane);
+    }
+    let mid = lane.outboxes.len() / 2;
+    let (ob_l, ob_r) = lane.outboxes.split_at(mid);
+    let (pn_l, pn_r) = lane.per_node.split_at_mut(mid);
+    crate::pool::Split::Fork(
+        MergeScanLane {
+            base: lane.base,
+            outboxes: ob_l,
+            per_node: pn_l,
+        },
+        MergeScanLane {
+            base: lane.base + mid,
+            outboxes: ob_r,
+            per_node: pn_r,
+        },
+    )
+}
+
+/// One chunk of the arena merge scan — exactly the serial sweep's per-node
+/// body (metrics batch, monotone-slot check, broadcast-table comparison),
+/// restricted to the chunk and accumulating into a local [`MergeAcc`].
+fn merge_scan_leaf<M: MessageSize>(
+    shared: MergeScanShared<'_>,
+    lane: MergeScanLane<'_, M>,
+) -> MergeAcc {
+    let mut acc = MergeAcc {
+        sent: 0,
+        monotone: true,
+        bcast: true,
+    };
+    for (i, (outbox, metrics)) in lane
+        .outboxes
+        .iter()
+        .zip(lane.per_node.iter_mut())
+        .enumerate()
+    {
+        let u = lane.base + i;
+        let expected =
+            &shared.bcast_slots[shared.bcast_bases[u] as usize..shared.bcast_bases[u + 1] as usize];
+        if outbox.is_empty() {
+            // A silent node breaks the everyone-broadcasts pattern
+            // (unless it has no neighbours to reach).
+            acc.bcast &= expected.is_empty();
+            continue;
+        }
+        acc.bcast &= outbox.len() == expected.len();
+        let count = outbox.len() as u64;
+        let mut bits = 0u64;
+        let mut max_bits = 0u64;
+        let mut last_slot = u32::MAX;
+        for (j, &(slot, ref msg)) in outbox.iter().enumerate() {
+            acc.monotone &= last_slot == u32::MAX || slot > last_slot;
+            last_slot = slot;
+            if acc.bcast {
+                acc.bcast = expected[j] == slot;
+            }
+            let size = msg.size_bits(shared.id_bits);
+            bits += size;
+            max_bits = max_bits.max(size);
+        }
+        metrics.record_batch(count, bits, max_bits);
+        acc.sent += count;
+    }
+    acc
 }
 
 /// Read-only geometry shared by every arena delivery lane.
@@ -2484,6 +2801,200 @@ fn arena_lane_leaf<M>(geometry: ArenaGeometry<'_>, lane: ArenaLane<'_, M>) {
     let base_count = geometry.senders.offset(base_node);
     for i in 0..offsets.len() {
         let v = base_node + i;
+        if !geometry.byz_adjacent[v] {
+            continue;
+        }
+        let o0 = (offsets[i] - base_msg) as usize;
+        let o1 = o0 + lens[i] as usize;
+        let c0 = geometry.senders.offset(v) - base_count;
+        let c1 = geometry.senders.offset(v + 1) - base_count;
+        finish_inbox_soa(
+            &mut senders[o0..o1],
+            &mut msgs[o0..o1],
+            &ranks[o0..o1],
+            &mut pos[i],
+            &mut sort_counts[c0..c1],
+        );
+    }
+}
+
+/// Read-only inputs shared by every owner-computes fast delivery lane:
+/// the static placement tables plus the round's traffic sources, all
+/// scanned concurrently by every lane.
+struct ArenaFastGeometry<'a, M> {
+    n: usize,
+    shards: usize,
+    /// Total arena slots (`degree_sum`) — the span bound past the last
+    /// node, where [`ArenaFastGeometry::deg_offsets`] has no entry.
+    slot_total: u32,
+    deg_offsets: &'a [u32],
+    senders: &'a SenderRanks,
+    byz_adjacent: &'a [bool],
+    pid_order: &'a [u32],
+    outboxes: &'a [Vec<(u32, M)>],
+    delivery_map: &'a DeliveryMap,
+    byz_outgoing: &'a [(NodeId, NodeId, M)],
+    byz_ranks: &'a [u32],
+    restore_offsets: bool,
+}
+
+// Manual impls: `derive` would demand `M: Copy`, but only references to
+// `M` are held.
+impl<M> Clone for ArenaFastGeometry<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<M> Copy for ArenaFastGeometry<'_, M> {}
+
+impl<M> ArenaFastGeometry<'_, M> {
+    /// Arena slot where node `v`'s span starts; `v == n` maps to the end
+    /// of the arena (empty trailing shards split there).
+    fn slot_base(&self, v: usize) -> u32 {
+        self.deg_offsets.get(v).copied().unwrap_or(self.slot_total)
+    }
+}
+
+/// The contiguous span of shards one owner-computes fast lane owns: its
+/// destination range's offset/len slices, its slice of the arena's
+/// parallel message arrays, and its sort scratch.
+struct ArenaFastLane<'a, M> {
+    first_shard: usize,
+    shard_count: usize,
+    base_node: usize,
+    offsets: &'a mut [u32],
+    lens: &'a mut [u32],
+    senders: &'a mut [NodeId],
+    msgs: &'a mut [M],
+    ranks: &'a mut [u32],
+    pos: &'a mut [Vec<u32>],
+    sort_counts: &'a mut [u32],
+}
+
+/// Halves an owner-computes lane along its shard span (node-indexed
+/// slices at the destination-range boundary, message arrays at the
+/// degree-prefix boundary), or declares it a leaf at a single shard.
+fn split_arena_fast_lane<'a, M>(
+    geometry: ArenaFastGeometry<'_, M>,
+    lane: ArenaFastLane<'a, M>,
+) -> crate::pool::Split<ArenaFastLane<'a, M>> {
+    if lane.shard_count <= 1 {
+        return crate::pool::Split::Leaf(lane);
+    }
+    let mid = lane.shard_count / 2;
+    let split_shard = lane.first_shard + mid;
+    let split_node = shard_start(split_shard, geometry.n, geometry.shards);
+    let node_mid = split_node - lane.base_node;
+    let msg_mid = (geometry.slot_base(split_node) - geometry.slot_base(lane.base_node)) as usize;
+    let count_mid = geometry.senders.offset(split_node) - geometry.senders.offset(lane.base_node);
+    let (off_l, off_r) = lane.offsets.split_at_mut(node_mid);
+    let (len_l, len_r) = lane.lens.split_at_mut(node_mid);
+    let (send_l, send_r) = lane.senders.split_at_mut(msg_mid);
+    let (msg_l, msg_r) = lane.msgs.split_at_mut(msg_mid);
+    let (rank_l, rank_r) = lane.ranks.split_at_mut(msg_mid);
+    let (pos_l, pos_r) = lane.pos.split_at_mut(node_mid);
+    let (sc_l, sc_r) = lane.sort_counts.split_at_mut(count_mid);
+    let left = ArenaFastLane {
+        first_shard: lane.first_shard,
+        shard_count: mid,
+        base_node: lane.base_node,
+        offsets: off_l,
+        lens: len_l,
+        senders: send_l,
+        msgs: msg_l,
+        ranks: rank_l,
+        pos: pos_l,
+        sort_counts: sc_l,
+    };
+    let right = ArenaFastLane {
+        first_shard: split_shard,
+        shard_count: lane.shard_count - mid,
+        base_node: split_node,
+        offsets: off_r,
+        lens: len_r,
+        senders: send_r,
+        msgs: msg_r,
+        ranks: rank_r,
+        pos: pos_r,
+        sort_counts: sc_r,
+    };
+    crate::pool::Split::Fork(left, right)
+}
+
+/// One owner-computes fast lane: restore/zero its spans, scan all
+/// outboxes in pid order cloning the messages destined for its range,
+/// append its slice of the Byzantine traffic, and counting-sort its
+/// Byzantine-adjacent spans. Per-destination output is exactly the
+/// unsharded fast scatter's.
+fn arena_fast_lane_leaf<M: Clone>(geometry: ArenaFastGeometry<'_, M>, lane: ArenaFastLane<'_, M>) {
+    let ArenaFastLane {
+        first_shard: _,
+        shard_count: _,
+        base_node,
+        offsets,
+        lens,
+        senders,
+        msgs,
+        ranks,
+        pos,
+        sort_counts,
+    } = lane;
+    let lo = base_node;
+    let hi = base_node + offsets.len();
+    if lo == hi {
+        return;
+    }
+    let base_msg = geometry.deg_offsets[lo];
+    if geometry.restore_offsets {
+        offsets.copy_from_slice(&geometry.deg_offsets[lo..hi]);
+    }
+    for len in lens.iter_mut() {
+        *len = 0;
+    }
+    // Honest traffic in increasing-pid order, range-filtered.
+    for &u in geometry.pid_order {
+        let u = u as usize;
+        let outbox = &geometry.outboxes[u];
+        if outbox.is_empty() {
+            continue;
+        }
+        let sender = NodeId(u as u32);
+        let targets = geometry.delivery_map.targets_of(u);
+        for &(slot, ref msg) in outbox.iter() {
+            let target = targets[slot as usize];
+            let v = target.to.index();
+            if v < lo || v >= hi {
+                continue;
+            }
+            let i = v - lo;
+            let len = lens[i];
+            lens[i] = len + 1;
+            let at = (offsets[i] + len - base_msg) as usize;
+            senders[at] = sender;
+            msgs[at] = msg.clone();
+            if geometry.byz_adjacent[v] {
+                ranks[at] = target.rank;
+            }
+        }
+    }
+    // ...then the Byzantine traffic in emission order.
+    for ((from, to, msg), &rank) in geometry.byz_outgoing.iter().zip(geometry.byz_ranks) {
+        let v = to.index();
+        if v < lo || v >= hi {
+            continue;
+        }
+        let i = v - lo;
+        let len = lens[i];
+        lens[i] = len + 1;
+        let at = (offsets[i] + len - base_msg) as usize;
+        senders[at] = *from;
+        msgs[at] = msg.clone();
+        ranks[at] = rank;
+    }
+    // Counting sort where Byzantine traffic can interleave.
+    let base_count = geometry.senders.offset(lo);
+    for i in 0..offsets.len() {
+        let v = lo + i;
         if !geometry.byz_adjacent[v] {
             continue;
         }

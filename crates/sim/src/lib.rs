@@ -22,6 +22,14 @@
 //!   so experiments can verify the paper's CONGEST claims (most good nodes
 //!   send `O(log n)`-bit messages).
 //!
+//! Execution is deterministic whatever the schedule: with the `parallel`
+//! feature the honest compute phase, the merge's metrics scan, and the
+//! autotuned sharded delivery lanes fan out over a work-stealing pool
+//! through the order-stable helpers in [`pool`], and transcripts stay
+//! bit-identical to the serial reference at every pool size (the
+//! module docs on [`engine`] describe the pipeline; the determinism and
+//! zero-allocation test suites enforce it).
+//!
 //! # Quick example
 //!
 //! ```

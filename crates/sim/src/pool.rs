@@ -66,6 +66,60 @@ where
     }
 }
 
+/// Recursively splits `lane` via `split` like [`for_each_split`], but each
+/// leaf **returns a value** and sibling results are folded with `combine`
+/// — always left-before-right, whatever the scheduling, so the fold order
+/// (and therefore the result, even for non-commutative combines) is
+/// identical between the serial and parallel executions. This is how the
+/// engine's per-worker accumulators (metrics sums, monotonicity flags)
+/// merge deterministically at round end.
+#[cfg(feature = "parallel")]
+pub fn map_split<L, R, S, F, C>(lane: L, parallel: bool, split: &S, leaf: &F, combine: &C) -> R
+where
+    L: Send,
+    R: Send,
+    S: Fn(L) -> Split<L> + Sync,
+    F: Fn(L) -> R + Sync,
+    C: Fn(R, R) -> R + Sync,
+{
+    match split(lane) {
+        Split::Leaf(lane) => leaf(lane),
+        Split::Fork(left, right) => {
+            if parallel {
+                let (a, b) = rayon::join(
+                    || map_split(left, true, split, leaf, combine),
+                    || map_split(right, true, split, leaf, combine),
+                );
+                combine(a, b)
+            } else {
+                let a = map_split(left, false, split, leaf, combine);
+                let b = map_split(right, false, split, leaf, combine);
+                combine(a, b)
+            }
+        }
+    }
+}
+
+/// Sequential fallback of [`map_split`] (no `parallel` feature): same
+/// signature minus the thread-safety bounds, the fold strictly
+/// left-to-right.
+#[cfg(not(feature = "parallel"))]
+pub fn map_split<L, R, S, F, C>(lane: L, _parallel: bool, split: &S, leaf: &F, combine: &C) -> R
+where
+    S: Fn(L) -> Split<L>,
+    F: Fn(L) -> R,
+    C: Fn(R, R) -> R,
+{
+    match split(lane) {
+        Split::Leaf(lane) => leaf(lane),
+        Split::Fork(left, right) => {
+            let a = map_split(left, _parallel, split, leaf, combine);
+            let b = map_split(right, _parallel, split, leaf, combine);
+            combine(a, b)
+        }
+    }
+}
+
 /// One contiguous piece of a sliced work list: the slice plus the index of
 /// its first element in the original.
 struct ChunkLane<'a, T> {
@@ -155,6 +209,29 @@ mod tests {
             assert_eq!(base, 0);
             assert_eq!(chunk.len(), 3);
         });
+    }
+
+    #[test]
+    fn map_split_folds_left_to_right() {
+        // A non-commutative combine (string concatenation) proves the
+        // fold order is the in-order traversal regardless of scheduling.
+        for parallel in [false, true] {
+            let folded = map_split(
+                0usize..8,
+                parallel,
+                &|range: std::ops::Range<usize>| {
+                    if range.len() <= 1 {
+                        Split::Leaf(range)
+                    } else {
+                        let mid = range.start + range.len() / 2;
+                        Split::Fork(range.start..mid, mid..range.end)
+                    }
+                },
+                &|range: std::ops::Range<usize>| range.start.to_string(),
+                &|a: String, b: String| a + &b,
+            );
+            assert_eq!(folded, "01234567", "parallel={parallel}");
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! | delivery  | plain counting sort / per-destination-range shards |
 //! | merge     | flat `honest_outgoing` vector / fused scatter      |
 //! | layout    | per-node `Vec<Envelope>` / flat SoA arena          |
-//! | pool size | 1 / 2 / 4 (`ThreadPoolBuilder`, `install`)         |
+//! | pool size | 1 / 2 / 4 / 8 (`ThreadPoolBuilder`, `install`)     |
 //!
 //! The adversary here declares `observes_traffic() == false`, so
 //! requesting `fused_merge` really activates fusion and the arena layout
@@ -27,7 +27,7 @@
 //! ignored no-op, so the parallel rows degenerate to serial compute (the
 //! sharded and fused rows still exercise their merge/delivery layouts);
 //! run with `cargo test -p bcount-sim --features parallel` (CI does,
-//! under `BCOUNT_POOL_THREADS=1` and `=4`) for the real cross-path
+//! under `BCOUNT_POOL_THREADS` ∈ {1, 4, 8}) for the real cross-path
 //! comparison.
 
 use bcount_graph::gen::{cycle, hnd, torus2d};
@@ -216,19 +216,21 @@ fn mode_matrix_matches_serial_without_byzantine_nodes() {
 }
 
 /// Pool-size invariance: the whole mode matrix, executed inside explicit
-/// worker pools of size 1 (degenerate — every `join` inlines), 2, and 4,
-/// must reproduce the serial reference transcript bit-for-bit. Combined
-/// with the CI matrix (`BCOUNT_POOL_THREADS=1` and `=4` over the whole
-/// workspace) this pins both the pool's degenerate and concurrent
-/// configurations. Without the `parallel` feature the pool exists but the
-/// engine never forks into it; the assertion still runs (trivially).
+/// worker pools of size 1 (degenerate — every `join` inlines), 2, 4, and
+/// 8 (more workers than the shard autotune will hand out on this graph,
+/// so some deques stay starved), must reproduce the serial reference
+/// transcript bit-for-bit. Combined with the CI matrix
+/// (`BCOUNT_POOL_THREADS` ∈ {1, 4, 8} over the whole workspace) this
+/// pins the pool's degenerate, concurrent, and oversubscribed
+/// configurations. Without the `parallel` feature the pool exists but
+/// the engine never forks into it; the assertion still runs (trivially).
 #[test]
 fn mode_matrix_is_pool_size_invariant() {
     let mut rng = ChaCha8Rng::seed_from_u64(42);
     let g = hnd(160, 8, &mut rng).unwrap();
     let byz = [NodeId(5), NodeId(80)];
     let reference = run(&g, &byz, 42, MODES[0]);
-    for threads in [1usize, 2, 4] {
+    for threads in [1usize, 2, 4, 8] {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
             .build()

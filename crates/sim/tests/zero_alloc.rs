@@ -258,6 +258,56 @@ fn assert_zero_alloc_two_pass(sharded_merge: bool) {
     );
 }
 
+/// The parallel engine's steady state must be allocation-free in the
+/// shape the allocator counter can actually observe: a **size-1
+/// installed pool** with `parallel: true`. Every `join` inlines (the
+/// pool's size-1 guarantee — no job boxing), the merge's per-worker
+/// accumulators live on the stack, the chunked metrics scan splits
+/// borrow disjoint windows of existing buffers, and the autotuned shard
+/// count collapses to 1 so the sharded request delegates to the
+/// unsharded arena pipeline. Multi-worker pools inherently heap-allocate
+/// at the fork boundary, so this is the strongest zero-alloc statement
+/// the parallel path admits. Without the `parallel` feature the flag is
+/// a no-op and the case degenerates to the serial arena run.
+fn assert_zero_alloc_parallel_merge() {
+    let g = cycle(96).unwrap();
+    let cfg = SimConfig {
+        max_rounds: u64::MAX,
+        stop_when: StopWhen::MaxRoundsOnly,
+        sharded_merge: true,
+        fused_merge: true,
+        layout: InboxLayout::Arena,
+        parallel: true,
+        ..SimConfig::default()
+    };
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("build size-1 test pool");
+    pool.install(|| {
+        let mut sim = Simulation::new(
+            &g,
+            &[NodeId(17)],
+            |_, init| Chatter(init.pid),
+            NullAdversary,
+            cfg,
+        );
+        for _ in 0..30 {
+            sim.step();
+        }
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for _ in 0..200 {
+            sim.step();
+        }
+        let delta = ALLOCATIONS.load(Ordering::SeqCst) - before;
+        assert_eq!(
+            delta, 0,
+            "steady-state parallel rounds in a size-1 pool must not allocate \
+             (saw {delta} allocations over 200 rounds)"
+        );
+    });
+}
+
 fn main() {
     // Legacy per-node layout: flat and fused, plain and sharded.
     assert_zero_alloc_rounds(false, false, InboxLayout::PerNode, true);
@@ -275,9 +325,13 @@ fn main() {
     // Active-set schedule: circulating token, and token death → silence.
     assert_zero_alloc_sparse(false);
     assert_zero_alloc_sparse(true);
+    // Parallel engine inside a size-1 installed pool (joins inline,
+    // per-worker merge accumulators on the stack).
+    assert_zero_alloc_parallel_merge();
     println!(
         "zero_alloc: ok (0 allocations over 200 steady-state rounds; \
          per-node flat/fused x plain/sharded, arena broadcast/general/\
-         sharded, arena two-pass plain/sharded, sparse live/silent)"
+         sharded, arena two-pass plain/sharded, sparse live/silent, \
+         parallel size-1 pool)"
     );
 }

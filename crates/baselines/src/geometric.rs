@@ -73,14 +73,13 @@ impl Protocol for GeometricMax {
             self.best = flips;
             ctx.broadcast(MaxSample(flips));
         } else {
-            let mut improved = false;
-            for env in ctx.inbox() {
-                if env.msg.0 > self.best {
-                    self.best = env.msg.0;
-                    improved = true;
-                }
-            }
-            if improved {
+            // Aggregate-only intake: the max never needs the senders, so
+            // fold over the payload plane directly (no pid widening).
+            let best = ctx
+                .inbox()
+                .fold_payloads(self.best, |best, msg| best.max(msg.0));
+            if best > self.best {
+                self.best = best;
                 ctx.broadcast(MaxSample(self.best));
             }
         }

@@ -45,6 +45,7 @@
 //! `arena_scatter` against `count_pass`.
 
 use bcount_bench::runners::network;
+use bcount_daemon::Server;
 use bcount_sim::{
     DeliveryMode, InboxLayout, MessageSize, NodeContext, NullAdversary, Protocol, SimConfig,
     Simulation, StopWhen,
@@ -88,7 +89,10 @@ fn chatter_config(parallel: bool) -> SimConfig {
     }
 }
 
-fn warmed(g: &bcount_graph::Graph, cfg: SimConfig) -> Simulation<'_, Chatter, NullAdversary> {
+fn warmed(
+    g: &bcount_graph::Graph,
+    cfg: SimConfig,
+) -> Simulation<&bcount_graph::Graph, Chatter, NullAdversary> {
     let mut sim = Simulation::new(g, &[], |_, _| Chatter(0), NullAdversary, cfg);
     for _ in 0..10 {
         sim.step();
@@ -406,5 +410,65 @@ fn bench_phases(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine, bench_phases);
+/// The `engine_daemon` group: `bcountd`'s mixed query+round lane
+/// (ROADMAP open item 3) — how many
+/// queries/sec the session server answers while the engine underneath
+/// sustains rounds/sec. All three lanes drive a live n = 4096 CONGEST
+/// session under a beacon-spam adversary (sustained ~13k msgs/round, so
+/// the round loop is genuinely busy) through the full wire path —
+/// request line in, response line out, `Server::handle_line` — the same
+/// bytes a socket client would move.
+///
+/// * `rounds_only` — one `session.step {rounds:1}` per iteration
+///   (rounds/sec through the daemon; the round-loop denominator).
+/// * `mixed_1r4q` — one step + four `session.query` per iteration
+///   (queries/sec served *at* sustained rounds/sec; throughput counts
+///   the 4 queries).
+/// * `queries_only` — pure cached reads against the parked session
+///   (queries/sec ceiling; never touches the round loop).
+fn bench_daemon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_daemon");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+
+    let n = 4096usize;
+    let mut server = Server::new();
+    let created = server.handle_line(&format!(
+        r#"{{"id":1,"method":"session.create","params":{{"n":{n},"protocol":"congest","adversary":"beacon-spam","byzantine":64,"seed":42,"max_rounds":{}}}}}"#,
+        u64::MAX
+    ));
+    assert!(
+        created.contains("\"result\""),
+        "bench session create failed: {created}"
+    );
+    let step_line = r#"{"id":2,"method":"session.step","params":{"session":1,"rounds":1}}"#;
+    let query_line = r#"{"id":3,"method":"session.query","params":{"session":1}}"#;
+    // Warm the buffers past the construction spike, like `reuse_buffers`.
+    server.handle_line(r#"{"id":4,"method":"session.step","params":{"session":1,"rounds":10}}"#);
+
+    group.throughput(Throughput::Elements(1));
+    group.bench_with_input(BenchmarkId::new("rounds_only", n), &n, |b, _| {
+        b.iter(|| server.handle_line(step_line).len());
+    });
+
+    group.throughput(Throughput::Elements(4));
+    group.bench_with_input(BenchmarkId::new("mixed_1r4q", n), &n, |b, _| {
+        b.iter(|| {
+            let mut bytes = server.handle_line(step_line).len();
+            for _ in 0..4 {
+                bytes += server.handle_line(query_line).len();
+            }
+            bytes
+        });
+    });
+
+    group.throughput(Throughput::Elements(1));
+    group.bench_with_input(BenchmarkId::new("queries_only", n), &n, |b, _| {
+        b.iter(|| server.handle_line(query_line).len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_phases, bench_daemon);
 criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! `bcountd` — the counting service's transport loop.
+//!
+//! Speaks `bcountd/v1` (line-delimited JSON; see the crate docs and the
+//! README's schema table) over stdin/stdout by default, or over a unix
+//! socket with `--socket PATH` (connections are served sequentially and
+//! share one session table, so a session created over one connection
+//! can be stepped from the next).
+
+use std::io::{BufRead, BufReader, Write};
+
+use bcount_daemon::Server;
+
+const USAGE: &str = "usage: bcountd [--socket PATH]
+
+Long-lived counting service speaking bcountd/v1 (line-delimited JSON)
+over stdin/stdout, or over a unix socket with --socket.";
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut socket: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => match args.next() {
+                Some(path) => socket = Some(path),
+                None => die("--socket requires a path"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => die(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let mut server = Server::new();
+    let result = match socket {
+        Some(path) => serve_socket(&path, &mut server),
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve(stdin.lock(), stdout.lock(), &mut server)
+        }
+    };
+    if let Err(e) = result {
+        die(&format!("i/o error: {e}"));
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bcountd: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// One request line in, one response line out, flushed per line so a
+/// scripted client can interleave reads with writes.
+fn serve(reader: impl BufRead, mut writer: impl Write, server: &mut Server) -> std::io::Result<()> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        writeln!(writer, "{}", server.handle_line(&line))?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+#[cfg(unix)]
+fn serve_socket(path: &str, server: &mut Server) -> std::io::Result<()> {
+    use std::os::unix::net::UnixListener;
+
+    // A stale socket file from a previous run would make bind fail.
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    eprintln!("bcountd: listening on {path}");
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let writer = stream.try_clone()?;
+        // A client hanging up mid-line is a normal disconnect, not a
+        // daemon failure; sessions outlive the connection.
+        if let Err(e) = serve(BufReader::new(stream), writer, server) {
+            eprintln!("bcountd: connection error: {e}");
+        }
+    }
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn serve_socket(_path: &str, _server: &mut Server) -> std::io::Result<()> {
+    Err(std::io::Error::new(
+        std::io::ErrorKind::Unsupported,
+        "--socket requires a unix platform",
+    ))
+}

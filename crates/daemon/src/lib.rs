@@ -1,0 +1,34 @@
+//! `bcountd`: a long-lived counting service owning executions as
+//! sessions.
+//!
+//! The repo's other binaries are batch: construct, run, print, exit.
+//! This crate is the *service* surface the north star asks for — a
+//! daemon that owns any number of concurrent executions (**sessions**)
+//! and answers read queries against them while they run, round by
+//! round. It is a thin shell over the redesigned embedding API in
+//! [`bcount_sim::execution`]:
+//!
+//! * sessions are [`bcount_sim::DynExecution`] trait objects, so one
+//!   table holds heterogeneous protocol × adversary × graph cells;
+//! * stepping goes through the facade's stop-check-first discipline, so
+//!   an execution driven by interleaved `session.step` requests
+//!   finishes byte-identical to one `Execution::run` call;
+//! * queries are served from a snapshot cached at the last step batch —
+//!   reads are pure and never touch the round loop.
+//!
+//! The protocol (`bcountd/v1`, [`wire`]) is line-delimited JSON over
+//! stdin/stdout or a unix socket; the [`spec`] module maps
+//! `session.create` params — the scenario-matrix cell coordinates — to
+//! live executions; [`server`] is the dispatcher. The `bcountd` binary
+//! is a ~100-line transport loop around [`server::Server::handle_line`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod server;
+pub mod spec;
+pub mod wire;
+
+pub use server::Server;
+pub use spec::{SessionInfo, SessionSpec, SpecError};
+pub use wire::{ErrorCode, Request, Response, WireError, SCHEMA};

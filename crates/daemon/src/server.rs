@@ -1,0 +1,208 @@
+//! The session table and request dispatcher behind `bcountd`.
+//!
+//! A [`Server`] owns every live session: a type-erased
+//! [`DynExecution`](bcount_sim::DynExecution) plus its cached
+//! [`ExecutionSnapshot`]. The cache is refreshed only when a
+//! `session.step` actually advances the execution, so `session.query`
+//! is a pure read — any number of queries between steps cost one cached
+//! clone each and never touch (let alone perturb) the round loop.
+//!
+//! [`Server::handle_line`] is the whole protocol: one request line in,
+//! one response line out, errors included. Transport loops (stdin, unix
+//! socket, tests) just move lines.
+
+use std::collections::BTreeMap;
+
+use bcount_json::{field, opt_field, FromJson, Json, ToJson};
+use bcount_sim::{DynExecution, ExecutionSnapshot};
+
+use crate::spec::{SessionInfo, SessionSpec};
+use crate::wire::{ErrorCode, Request, Response, WireError};
+
+/// One live session.
+struct Session {
+    info: SessionInfo,
+    exec: Box<dyn DynExecution>,
+    /// Snapshot taken after the last step batch (or at creation);
+    /// queries are served from this cache.
+    snapshot: ExecutionSnapshot,
+}
+
+/// The daemon state: a monotonically-ided session table.
+#[derive(Default)]
+pub struct Server {
+    sessions: BTreeMap<u64, Session>,
+    next_id: u64,
+}
+
+impl Server {
+    /// An empty session table.
+    pub fn new() -> Self {
+        Server::default()
+    }
+
+    /// Number of live sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Handles one request line and renders the one response line (no
+    /// trailing newline). Never panics on input: malformed lines become
+    /// structured `parse-error`/`bad-request` replies.
+    pub fn handle_line(&mut self, line: &str) -> String {
+        let json = match Json::parse(line) {
+            Ok(json) => json,
+            Err(e) => {
+                return Response::err(None, ErrorCode::ParseError, e.to_string()).render_line()
+            }
+        };
+        let request = match Request::from_json(&json) {
+            Ok(request) => request,
+            Err(e) => {
+                // Salvage the id when the object carried a usable one, so
+                // a scripted client can still correlate the failure.
+                let id = json
+                    .get("id")
+                    .and_then(Json::as_num)
+                    .and_then(|n| n.as_u64());
+                return Response::err(id, ErrorCode::BadRequest, e.to_string()).render_line();
+            }
+        };
+        let id = request.id;
+        match self.dispatch(&request) {
+            Ok(result) => Response::ok(id, result),
+            Err(error) => Response {
+                id: Some(id),
+                body: Err(error),
+            },
+        }
+        .render_line()
+    }
+
+    fn dispatch(&mut self, request: &Request) -> Result<Json, WireError> {
+        match request.method.as_str() {
+            "session.create" => self.create(&request.params),
+            "session.step" => self.step(&request.params),
+            "session.query" => self.query(&request.params),
+            "session.list" => Ok(self.list()),
+            "session.close" => self.close(&request.params),
+            other => Err(WireError {
+                code: ErrorCode::UnknownMethod,
+                message: format!("unknown method '{other}'"),
+            }),
+        }
+    }
+
+    fn create(&mut self, params: &Json) -> Result<Json, WireError> {
+        let spec = SessionSpec::from_params(params).map_err(|e| WireError {
+            code: ErrorCode::BadSpec,
+            message: e.to_string(),
+        })?;
+        let (exec, info) = spec.build().map_err(|e| WireError {
+            code: ErrorCode::BadSpec,
+            message: e.to_string(),
+        })?;
+        self.next_id += 1;
+        let id = self.next_id;
+        let snapshot = exec.snapshot();
+        let result = Json::obj(vec![
+            ("session", id.to_json()),
+            ("spec", info.to_json()),
+            ("snapshot", snapshot.to_json()),
+        ]);
+        self.sessions.insert(
+            id,
+            Session {
+                info,
+                exec,
+                snapshot,
+            },
+        );
+        Ok(result)
+    }
+
+    fn step(&mut self, params: &Json) -> Result<Json, WireError> {
+        let id = session_id(params)?;
+        let rounds: u64 = opt_field(params, "rounds")
+            .map_err(bad_request)?
+            .unwrap_or(1);
+        let session = self.session_mut(id)?;
+        let before = session.exec.round();
+        session.exec.step_rounds(rounds);
+        // A step batch is the only thing that can move the execution, so
+        // this is the one place the query cache refreshes.
+        session.snapshot = session.exec.snapshot();
+        Ok(Json::obj(vec![
+            ("session", id.to_json()),
+            ("stepped", (session.snapshot.round - before).to_json()),
+            ("snapshot", session.snapshot.to_json()),
+        ]))
+    }
+
+    fn query(&mut self, params: &Json) -> Result<Json, WireError> {
+        let id = session_id(params)?;
+        let with_nodes: bool = opt_field(params, "nodes")
+            .map_err(bad_request)?
+            .unwrap_or(false);
+        let session = self.session_mut(id)?;
+        let mut pairs = vec![
+            ("session", id.to_json()),
+            ("snapshot", session.snapshot.to_json()),
+        ];
+        if with_nodes {
+            pairs.push(("nodes", session.exec.node_states().to_json()));
+        }
+        Ok(Json::obj(pairs))
+    }
+
+    fn list(&self) -> Json {
+        let sessions: Vec<Json> = self
+            .sessions
+            .iter()
+            .map(|(&id, s)| {
+                Json::obj(vec![
+                    ("session", id.to_json()),
+                    ("spec", s.info.to_json()),
+                    ("round", s.snapshot.round.to_json()),
+                    ("stop", s.snapshot.stop.to_json()),
+                ])
+            })
+            .collect();
+        Json::obj(vec![("sessions", Json::Arr(sessions))])
+    }
+
+    fn close(&mut self, params: &Json) -> Result<Json, WireError> {
+        let id = session_id(params)?;
+        if self.sessions.remove(&id).is_none() {
+            return Err(unknown_session(id));
+        }
+        Ok(Json::obj(vec![
+            ("session", id.to_json()),
+            ("closed", true.to_json()),
+        ]))
+    }
+
+    fn session_mut(&mut self, id: u64) -> Result<&mut Session, WireError> {
+        self.sessions
+            .get_mut(&id)
+            .ok_or_else(|| unknown_session(id))
+    }
+}
+
+fn session_id(params: &Json) -> Result<u64, WireError> {
+    field(params, "session").map_err(bad_request)
+}
+
+fn bad_request(e: bcount_json::JsonError) -> WireError {
+    WireError {
+        code: ErrorCode::BadRequest,
+        message: e.to_string(),
+    }
+}
+
+fn unknown_session(id: u64) -> WireError {
+    WireError {
+        code: ErrorCode::UnknownSession,
+        message: format!("no session {id}"),
+    }
+}

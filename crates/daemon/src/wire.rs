@@ -1,0 +1,239 @@
+//! The `bcountd/v1` wire protocol: line-delimited JSON requests and
+//! responses over [`bcount_json`].
+//!
+//! One request per line, one response line per request, always in order.
+//! Requests carry a caller-chosen `id` echoed verbatim in the response,
+//! a `method` string, and a `params` object (optional; defaults to
+//! `{}`). Responses carry the `schema` tag, the echoed `id`, and exactly
+//! one of `result` or `error`:
+//!
+//! ```text
+//! → {"id":1,"method":"session.create","params":{"family":"cycle","n":64,"protocol":"geometric-max","seed":7}}
+//! ← {"schema":"bcountd/v1","id":1,"result":{"session":1,...}}
+//! → {"id":2,"method":"no.such.method"}
+//! ← {"schema":"bcountd/v1","id":2,"error":{"code":"unknown-method","message":"unknown method 'no.such.method'"}}
+//! ```
+//!
+//! A request line that is not valid JSON (or not an object) cannot echo
+//! an id, so its error response carries `"id":null`. Malformed input
+//! never kills the daemon: every defect maps to a structured error line
+//! and the read loop continues.
+
+use bcount_json::{field, opt_field, FromJson, Json, JsonError, ToJson};
+
+/// The protocol identifier stamped on every response (and accepted,
+/// optionally, on requests).
+pub const SCHEMA: &str = "bcountd/v1";
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Caller-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Method name, e.g. `"session.create"`.
+    pub method: String,
+    /// Method parameters; `Json::Obj` (empty when the line omits it).
+    pub params: Json,
+}
+
+impl ToJson for Request {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::Str(SCHEMA.to_owned())),
+            ("id", self.id.to_json()),
+            ("method", self.method.to_json()),
+            ("params", self.params.clone()),
+        ])
+    }
+}
+
+impl FromJson for Request {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        if !matches!(json, Json::Obj(_)) {
+            return Err(JsonError::Shape("request must be a JSON object".into()));
+        }
+        if let Some(tag) = opt_field::<String>(json, "schema")? {
+            if tag != SCHEMA {
+                return Err(JsonError::Shape(format!(
+                    "schema mismatch: found '{tag}', expected '{SCHEMA}'"
+                )));
+            }
+        }
+        let params = match json.get("params") {
+            None | Some(Json::Null) => Json::Obj(Vec::new()),
+            Some(p @ Json::Obj(_)) => p.clone(),
+            Some(_) => {
+                return Err(JsonError::Shape("field 'params': expected object".into()));
+            }
+        };
+        Ok(Request {
+            id: field(json, "id")?,
+            method: field(json, "method")?,
+            params,
+        })
+    }
+}
+
+/// Machine-readable error category in an error response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The line was not valid JSON (or not an object).
+    ParseError,
+    /// The line was JSON but not a well-formed request, or `params` did
+    /// not match the method's schema.
+    BadRequest,
+    /// The method name is not part of `bcountd/v1`.
+    UnknownMethod,
+    /// The referenced session id does not exist (never created, or
+    /// already closed).
+    UnknownSession,
+    /// `session.create` parameters name an unsupported family, protocol,
+    /// adversary, placement, or an incompatible combination.
+    BadSpec,
+}
+
+impl ErrorCode {
+    /// The stable wire tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ErrorCode::ParseError => "parse-error",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::UnknownMethod => "unknown-method",
+            ErrorCode::UnknownSession => "unknown-session",
+            ErrorCode::BadSpec => "bad-spec",
+        }
+    }
+}
+
+impl ToJson for ErrorCode {
+    fn to_json(&self) -> Json {
+        Json::Str(self.tag().to_owned())
+    }
+}
+
+impl FromJson for ErrorCode {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json.as_str() {
+            Some("parse-error") => Ok(ErrorCode::ParseError),
+            Some("bad-request") => Ok(ErrorCode::BadRequest),
+            Some("unknown-method") => Ok(ErrorCode::UnknownMethod),
+            Some("unknown-session") => Ok(ErrorCode::UnknownSession),
+            Some("bad-spec") => Ok(ErrorCode::BadSpec),
+            Some(other) => Err(JsonError::Shape(format!("unknown error code '{other}'"))),
+            None => Err(JsonError::Shape("expected error-code string".into())),
+        }
+    }
+}
+
+/// The error half of a response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireError {
+    /// Machine-readable category.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ToJson for WireError {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("code", self.code.to_json()),
+            ("message", self.message.to_json()),
+        ])
+    }
+}
+
+impl FromJson for WireError {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(WireError {
+            code: field(json, "code")?,
+            message: field(json, "message")?,
+        })
+    }
+}
+
+/// A response line: the echoed id (`None` when the request line could
+/// not be parsed far enough to recover one) and either a result or an
+/// error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Echo of the request's id; `None` renders as `null`.
+    pub id: Option<u64>,
+    /// Exactly one of `result` / `error` on the wire.
+    pub body: Result<Json, WireError>,
+}
+
+impl Response {
+    /// A success response.
+    pub fn ok(id: u64, result: Json) -> Self {
+        Response {
+            id: Some(id),
+            body: Ok(result),
+        }
+    }
+
+    /// An error response.
+    pub fn err(id: Option<u64>, code: ErrorCode, message: impl Into<String>) -> Self {
+        Response {
+            id,
+            body: Err(WireError {
+                code,
+                message: message.into(),
+            }),
+        }
+    }
+
+    /// Renders the single wire line (no trailing newline). Infallible in
+    /// practice: every number the daemon emits is an integer or a finite
+    /// raw estimate, but a defensive fallback line is substituted if a
+    /// non-finite float ever reaches the writer.
+    pub fn render_line(&self) -> String {
+        self.to_json().render().unwrap_or_else(|_| {
+            Response::err(
+                self.id,
+                ErrorCode::BadRequest,
+                "internal: non-finite number in response",
+            )
+            .to_json()
+            .render()
+            .expect("fallback error response is always renderable")
+        })
+    }
+}
+
+impl ToJson for Response {
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("schema", Json::Str(SCHEMA.to_owned())),
+            ("id", self.id.to_json()),
+        ];
+        match &self.body {
+            Ok(result) => pairs.push(("result", result.clone())),
+            Err(e) => pairs.push(("error", e.to_json())),
+        }
+        Json::obj(pairs)
+    }
+}
+
+impl FromJson for Response {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        bcount_json::check_schema(json, SCHEMA)?;
+        let id: Option<u64> = field(json, "id")?;
+        let body = match (json.get("result"), json.get("error")) {
+            (Some(result), None) => Ok(result.clone()),
+            (None, Some(error)) => Err(WireError::from_json(error)
+                .map_err(|e| JsonError::Shape(format!("field 'error': {e}")))?),
+            (Some(_), Some(_)) => {
+                return Err(JsonError::Shape(
+                    "response carries both 'result' and 'error'".into(),
+                ))
+            }
+            (None, None) => {
+                return Err(JsonError::Shape(
+                    "response carries neither 'result' nor 'error'".into(),
+                ))
+            }
+        };
+        Ok(Response { id, body })
+    }
+}

@@ -1,0 +1,254 @@
+//! End-to-end tests for the session server: malformed input never kills
+//! it, and a daemon-driven execution is byte-identical to the same
+//! execution driven directly through [`Execution`].
+
+use bcount_baselines::{GeometricMax, MaxFakerAdversary};
+use bcount_daemon::Server;
+use bcount_graph::gen::hnd;
+use bcount_graph::NodeId;
+use bcount_json::{Json, ToJson};
+use bcount_sim::{Execution, SimConfig, StopWhen};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Parses a response line, asserts the schema tag, returns the `result`.
+fn result(line: &str) -> Json {
+    let json = Json::parse(line).expect("response must parse");
+    assert_eq!(
+        json.get("schema").and_then(Json::as_str),
+        Some("bcountd/v1"),
+        "every reply carries the schema tag: {line}"
+    );
+    json.get("result")
+        .cloned()
+        .unwrap_or_else(|| panic!("expected a result reply, got: {line}"))
+}
+
+/// Parses a response line, returns `(id, error code)`.
+fn error_code(line: &str) -> (Option<u64>, String) {
+    let json = Json::parse(line).expect("response must parse");
+    let id = json
+        .get("id")
+        .and_then(Json::as_num)
+        .and_then(|n| n.as_u64());
+    let code = json
+        .get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("expected an error reply, got: {line}"))
+        .to_string();
+    (id, code)
+}
+
+fn render(json: &Json) -> String {
+    json.render().expect("snapshot renders")
+}
+
+#[test]
+fn malformed_input_gets_structured_errors_and_the_server_survives() {
+    let mut server = Server::new();
+
+    // A truncated line (mid-object cut, as a dropped connection would leave).
+    let (id, code) = error_code(&server.handle_line(r#"{"id":1,"method":"session.l"#));
+    assert_eq!((id, code.as_str()), (None, "parse-error"));
+
+    // Not JSON at all.
+    let (id, code) = error_code(&server.handle_line("step please"));
+    assert_eq!((id, code.as_str()), (None, "parse-error"));
+
+    // Valid JSON, wrong shape (not an object).
+    let (id, code) = error_code(&server.handle_line("42"));
+    assert_eq!((id, code.as_str()), (None, "bad-request"));
+
+    // An object with an id but no method: the id is salvaged so scripted
+    // clients can correlate the failure.
+    let (id, code) = error_code(&server.handle_line(r#"{"id":7,"params":{}}"#));
+    assert_eq!((id, code.as_str()), (Some(7), "bad-request"));
+
+    // Unknown method.
+    let (id, code) = error_code(&server.handle_line(r#"{"id":8,"method":"session.explode"}"#));
+    assert_eq!((id, code.as_str()), (Some(8), "unknown-method"));
+
+    // Stepping a session that never existed.
+    let (id, code) = error_code(
+        &server.handle_line(r#"{"id":9,"method":"session.step","params":{"session":3}}"#),
+    );
+    assert_eq!((id, code.as_str()), (Some(9), "unknown-session"));
+
+    // Bad specs: missing required field, unknown protocol, bad pairing.
+    let (_, code) = error_code(
+        &server
+            .handle_line(r#"{"id":10,"method":"session.create","params":{"protocol":"congest"}}"#),
+    );
+    assert_eq!(code, "bad-spec");
+    let (_, code) = error_code(&server.handle_line(
+        r#"{"id":11,"method":"session.create","params":{"n":16,"protocol":"paxos"}}"#,
+    ));
+    assert_eq!(code, "bad-spec");
+    let (_, code) = error_code(&server.handle_line(
+        r#"{"id":12,"method":"session.create","params":{"n":16,"protocol":"congest","adversary":"max-faker"}}"#,
+    ));
+    assert_eq!(code, "bad-spec");
+
+    // None of that leaked a session, and the server still works.
+    assert_eq!(server.session_count(), 0);
+    let listing = result(&server.handle_line(r#"{"id":13,"method":"session.list"}"#));
+    assert_eq!(
+        listing
+            .get("sessions")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(0)
+    );
+    let created = result(&server.handle_line(
+        r#"{"id":14,"method":"session.create","params":{"n":32,"protocol":"geometric-max","budget":5}}"#,
+    ));
+    assert!(created.get("session").is_some());
+    assert_eq!(server.session_count(), 1);
+}
+
+/// The acceptance-criterion test: an n ≥ 1024 session created over the
+/// wire, driven with interleaved `session.step` / `session.query`
+/// requests, stays byte-identical (rendered snapshot JSON) to the same
+/// execution built by hand — both mid-flight against a stepped
+/// [`Execution`] and at the end against a fresh one driven by a single
+/// [`Execution::run`] call.
+#[test]
+fn daemon_session_is_byte_identical_to_direct_execution() {
+    const N: usize = 1024;
+    const SEED: u64 = 7;
+    const BUDGET: u64 = 40;
+    const FAKE: u32 = 30;
+    const BYZ: usize = 16;
+    const BATCH: u64 = 5;
+
+    // The direct side, built exactly as the daemon's spec documents:
+    // graph from `ChaCha8Rng::seed_from_u64(seed)`, spread placement
+    // (every ⌊n/count⌋-th node), engine seed = the same seed.
+    let direct = || {
+        let mut rng = ChaCha8Rng::seed_from_u64(SEED);
+        let graph = hnd(N, 8, &mut rng).expect("hnd graph");
+        let stride = (N / BYZ).max(1);
+        let byz: Vec<NodeId> = (0..BYZ)
+            .map(|k| NodeId(((k * stride) % N) as u32))
+            .collect();
+        let cfg = SimConfig::builder()
+            .seed(SEED)
+            .max_rounds(10_000)
+            .stop_when(StopWhen::AllHonestHalted)
+            .build()
+            .unwrap();
+        Execution::new(
+            graph,
+            &byz,
+            |_, init| GeometricMax::new(BUDGET, init),
+            MaxFakerAdversary { fake_value: FAKE },
+            cfg,
+        )
+    };
+    let raw = |v: &u32| f64::from(*v);
+
+    let mut server = Server::new();
+    let created = result(&server.handle_line(&format!(
+        r#"{{"id":1,"method":"session.create","params":{{"n":{N},"protocol":"geometric-max","adversary":"max-faker","byzantine":{BYZ},"seed":{SEED},"budget":{BUDGET},"fake_value":{FAKE}}}}}"#
+    )));
+    let session = created
+        .get("session")
+        .and_then(Json::as_num)
+        .and_then(|n| n.as_u64())
+        .expect("session id");
+
+    // Round 0: the creation snapshot already matches.
+    let mut stepped = direct();
+    assert_eq!(
+        render(created.get("snapshot").expect("snapshot")),
+        render(&stepped.snapshot_with(raw).to_json()),
+        "creation snapshot diverges from a fresh direct execution"
+    );
+
+    // Interleave step and query batches; after every batch the cached
+    // snapshot served by `session.query` must match the stepped direct
+    // execution byte for byte.
+    let mut queries = 0u32;
+    loop {
+        let step = result(&server.handle_line(&format!(
+            r#"{{"id":2,"method":"session.step","params":{{"session":{session},"rounds":{BATCH}}}}}"#
+        )));
+        stepped.step_rounds(BATCH);
+
+        let query = result(&server.handle_line(&format!(
+            r#"{{"id":3,"method":"session.query","params":{{"session":{session}}}}}"#
+        )));
+        queries += 1;
+        let daemon_snapshot = render(query.get("snapshot").expect("snapshot"));
+        assert_eq!(
+            daemon_snapshot,
+            render(&stepped.snapshot_with(raw).to_json()),
+            "mid-flight query diverges at round {}",
+            stepped.round()
+        );
+        // The step reply carries the same snapshot the query serves.
+        assert_eq!(
+            render(step.get("snapshot").expect("snapshot")),
+            daemon_snapshot
+        );
+
+        if stepped.finished().is_some() {
+            break;
+        }
+        assert!(
+            stepped.round() < 10_000,
+            "execution failed to finish within max_rounds"
+        );
+    }
+    assert!(queries > 2, "the run must actually interleave step/query");
+
+    // The end state matches one uninterrupted `Execution::run`.
+    let mut oneshot = direct();
+    oneshot.run();
+    let query = result(&server.handle_line(&format!(
+        r#"{{"id":4,"method":"session.query","params":{{"session":{session},"nodes":true}}}}"#
+    )));
+    assert_eq!(
+        render(query.get("snapshot").expect("snapshot")),
+        render(&oneshot.snapshot_with(raw).to_json()),
+        "final daemon snapshot diverges from Execution::run"
+    );
+    assert_eq!(
+        render(query.get("nodes").expect("nodes")),
+        render(&oneshot.node_states_with(raw).to_json()),
+        "final per-node states diverge from Execution::run"
+    );
+
+    // And closing really closes.
+    result(&server.handle_line(&format!(
+        r#"{{"id":5,"method":"session.close","params":{{"session":{session}}}}}"#
+    )));
+    let (_, code) = error_code(&server.handle_line(&format!(
+        r#"{{"id":6,"method":"session.query","params":{{"session":{session}}}}}"#
+    )));
+    assert_eq!(code, "unknown-session");
+    assert_eq!(server.session_count(), 0);
+}
+
+/// Mirror of the CI `daemon-smoke` job: the committed transcript's input
+/// lines, fed through [`Server::handle_line`], must reproduce the
+/// committed golden output exactly.
+#[test]
+fn committed_smoke_transcript_is_golden() {
+    let input = include_str!("../../../ci/daemon_smoke.input");
+    let golden = include_str!("../../../ci/daemon_smoke.golden");
+    let mut server = Server::new();
+    let replies: Vec<String> = input
+        .lines()
+        .filter(|line| !line.trim().is_empty())
+        .map(|line| server.handle_line(line))
+        .collect();
+    let mut rendered = replies.join("\n");
+    rendered.push('\n');
+    assert_eq!(
+        rendered, golden,
+        "ci/daemon_smoke.golden is stale; regenerate it with \
+         `cargo run -p bcount-daemon --bin bcountd < ci/daemon_smoke.input`"
+    );
+}

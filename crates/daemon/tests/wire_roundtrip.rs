@@ -1,0 +1,140 @@
+//! Property tests for the `bcountd/v1` wire types: for random requests
+//! and responses, `parse(render(x)) == x`, through the same
+//! line-oriented path the daemon uses.
+
+use bcount_daemon::{ErrorCode, Request, Response, WireError};
+use bcount_json::{FromJson, Json, Number, ToJson};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Printable-ish strings (includes non-ASCII to exercise escaping).
+fn text_strategy() -> impl Strategy<Value = String> {
+    vec(0u32..0x500, 0..12).prop_map(|codes| {
+        codes
+            .iter()
+            .filter_map(|&c| char::from_u32(c))
+            .collect::<String>()
+    })
+}
+
+/// A flat JSON value: the leaves `params` objects are built from.
+fn leaf_strategy() -> impl Strategy<Value = Json> {
+    (0u8..4, any::<u64>(), text_strategy()).prop_map(|(tag, num, text)| match tag {
+        0 => Json::Null,
+        1 => Json::Bool(num % 2 == 0),
+        2 => Json::Num(Number::U(num)),
+        _ => Json::Str(text),
+    })
+}
+
+/// A small `params` object, one level of nesting deep.
+fn params_strategy() -> impl Strategy<Value = Json> {
+    vec(
+        (text_strategy(), leaf_strategy(), vec(leaf_strategy(), 0..3)),
+        0..5,
+    )
+    .prop_map(|pairs| {
+        Json::Obj(
+            pairs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (key, leaf, arr))| {
+                    // Make keys unique: the reader keeps the first match,
+                    // so duplicate keys would not round-trip.
+                    let key = format!("{key}#{i}");
+                    let value = if arr.is_empty() { leaf } else { Json::Arr(arr) };
+                    (key, value)
+                })
+                .collect(),
+        )
+    })
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    (any::<u64>(), text_strategy(), params_strategy()).prop_map(|(id, method, params)| Request {
+        id,
+        method,
+        params,
+    })
+}
+
+fn error_code_strategy() -> impl Strategy<Value = ErrorCode> {
+    (0u8..5).prop_map(|k| match k {
+        0 => ErrorCode::ParseError,
+        1 => ErrorCode::BadRequest,
+        2 => ErrorCode::UnknownMethod,
+        3 => ErrorCode::UnknownSession,
+        _ => ErrorCode::BadSpec,
+    })
+}
+
+fn response_strategy() -> impl Strategy<Value = Response> {
+    (
+        (any::<u64>(), any::<bool>()),
+        any::<bool>(),
+        params_strategy(),
+        error_code_strategy(),
+        text_strategy(),
+    )
+        .prop_map(|((id, id_some), ok, result, code, message)| Response {
+            id: id_some.then_some(id),
+            body: if ok {
+                Ok(result)
+            } else {
+                Err(WireError { code, message })
+            },
+        })
+}
+
+proptest! {
+    #[test]
+    fn request_round_trips(req in request_strategy()) {
+        let line = req.to_json().render().expect("render");
+        prop_assert!(!line.contains('\n'), "wire lines must be single-line");
+        let back = Request::from_json(&Json::parse(&line).expect("parse")).expect("from_json");
+        prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn response_round_trips(resp in response_strategy()) {
+        let line = resp.render_line();
+        prop_assert!(!line.contains('\n'), "wire lines must be single-line");
+        let back = Response::from_json(&Json::parse(&line).expect("parse")).expect("from_json");
+        prop_assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn requests_without_params_default_to_empty(id in any::<u64>(), method in text_strategy()) {
+        let line = Json::obj(vec![
+            ("id", id.to_json()),
+            ("method", method.to_json()),
+        ])
+        .render()
+        .expect("render");
+        let req = Request::from_json(&Json::parse(&line).expect("parse")).expect("from_json");
+        prop_assert_eq!(req.id, id);
+        prop_assert_eq!(req.method, method);
+        prop_assert_eq!(req.params, Json::Obj(Vec::new()));
+    }
+}
+
+#[test]
+fn response_rejects_defective_shapes() {
+    // Both result and error.
+    let both = r#"{"schema":"bcountd/v1","id":1,"result":{},"error":{"code":"bad-request","message":"x"}}"#;
+    assert!(Response::from_json(&Json::parse(both).unwrap()).is_err());
+    // Neither result nor error.
+    let neither = r#"{"schema":"bcountd/v1","id":1}"#;
+    assert!(Response::from_json(&Json::parse(neither).unwrap()).is_err());
+    // Wrong schema tag.
+    let wrong = r#"{"schema":"bcountd/v2","id":1,"result":{}}"#;
+    assert!(Response::from_json(&Json::parse(wrong).unwrap()).is_err());
+}
+
+#[test]
+fn request_rejects_mismatched_schema_tag() {
+    let wrong = r#"{"schema":"bcountd/v0","id":1,"method":"session.list"}"#;
+    assert!(Request::from_json(&Json::parse(wrong).unwrap()).is_err());
+    let right = r#"{"schema":"bcountd/v1","id":1,"method":"session.list"}"#;
+    assert!(Request::from_json(&Json::parse(right).unwrap()).is_ok());
+}

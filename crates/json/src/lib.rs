@@ -699,6 +699,17 @@ pub fn field<T: FromJson>(obj: &Json, key: &str) -> Result<T, JsonError> {
     T::from_json(v).map_err(|e| JsonError::Shape(format!("field '{key}': {e}")))
 }
 
+/// Reads an optional object field: `Ok(None)` when the key is absent or
+/// `null`, the conversion error when present but malformed.
+pub fn opt_field<T: FromJson>(obj: &Json, key: &str) -> Result<Option<T>, JsonError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => T::from_json(v)
+            .map(Some)
+            .map_err(|e| JsonError::Shape(format!("field '{key}': {e}"))),
+    }
+}
+
 /// Validates an artifact's top-level `"schema"` tag against `expected`
 /// (exact match, e.g. `"bcount-experiments/v1"`).
 pub fn check_schema(doc: &Json, expected: &str) -> Result<(), JsonError> {

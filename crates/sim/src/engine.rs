@@ -354,9 +354,18 @@ impl<O> SimReport<O> {
 /// See the [crate docs](crate) for the model; construct with
 /// [`Simulation::new`] and drive with [`Simulation::run`] or
 /// [`Simulation::step`]. See the [module docs](self) for the hot-path
-/// buffer architecture.
-pub struct Simulation<'g, P: Protocol, A> {
-    graph: &'g Graph,
+/// buffer architecture. For a steppable, ownership-flexible wrapper (and
+/// the type-erased session surface the daemon embeds), see
+/// [`crate::execution::Execution`].
+///
+/// The engine is generic over how the graph is held: `G` is anything that
+/// borrows a [`Graph`] — `&Graph` (the classical shape; harnesses reuse
+/// one graph across many executions) or an owned `Graph`/`Arc<Graph>`
+/// (long-lived embeddings like `bcountd` sessions, which cannot tie a
+/// session's lifetime to a caller's stack frame). Access always goes
+/// through one `Borrow::borrow` no-op, so the hot path is unaffected.
+pub struct Simulation<G, P: Protocol, A> {
+    graph: G,
     config: SimConfig,
     adversary: A,
     pids: Vec<Pid>,
@@ -518,12 +527,18 @@ struct Routed<M> {
     msg: M,
 }
 
-impl<'g, P, A> Simulation<'g, P, A>
+impl<G, P, A> Simulation<G, P, A>
 where
+    G: std::borrow::Borrow<Graph>,
     P: Protocol + PhaseSend,
     P::Message: PhaseShared,
     A: Adversary<P>,
 {
+    /// The execution's graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph.borrow()
+    }
+
     /// Sets up an execution.
     ///
     /// `factory` builds the honest protocol instance for each node; it
@@ -537,18 +552,19 @@ where
     ///
     /// Panics if `byzantine` contains an out-of-range node.
     pub fn new(
-        graph: &'g Graph,
+        graph: G,
         byzantine: &[NodeId],
         mut factory: impl FnMut(NodeId, &NodeInit) -> P,
         adversary: A,
         config: SimConfig,
     ) -> Self {
-        let n = graph.len();
+        let g: &Graph = graph.borrow();
+        let n = g.len();
         let mut master = ChaCha8Rng::seed_from_u64(config.seed);
         let pids = assign_pids(n, &mut master);
         let pid_index = PidIndex::new(&pids);
-        let sender_ranks = SenderRanks::new(graph, &pids);
-        let (neighbor_pids, delivery_map) = DeliveryMap::build(graph, &pids, &sender_ranks);
+        let sender_ranks = SenderRanks::new(g, &pids);
+        let (neighbor_pids, delivery_map) = DeliveryMap::build(g, &pids, &sender_ranks);
         let mut is_byzantine = vec![false; n];
         for &b in byzantine {
             assert!(b.index() < n, "byzantine node {b} out of range");
@@ -578,7 +594,7 @@ where
         // single shard and skips the partition entirely. The count never
         // affects transcripts (sharding preserves per-destination order),
         // only how delivery work is partitioned.
-        let slot_total = graph.degree_sum();
+        let slot_total = g.degree_sum();
         let num_shards = if config.sharded_merge {
             pool_workers(config.parallel)
                 .min(slot_total.div_ceil(MIN_SLOTS_PER_SHARD))
@@ -624,8 +640,7 @@ where
         };
         let byz_adjacent: Vec<bool> = (0..n)
             .map(|v| {
-                graph
-                    .neighbors(NodeId(v as u32))
+                g.neighbors(NodeId(v as u32))
                     .any(|w| is_byzantine[w.index()])
             })
             .collect();
@@ -639,7 +654,7 @@ where
         // warm-up growth check on those paths; heavier protocols still
         // grow amortized. The per-node buffers are only presized when the
         // legacy layout can actually run (the arena keeps them empty).
-        let degree = |v: usize| graph.degree(NodeId(v as u32));
+        let degree = |v: usize| g.degree(NodeId(v as u32));
         let per_node_cap = |v: usize| if arena_active { 0 } else { degree(v) };
         // The queues carry traffic whenever the legacy sharded paths run,
         // and on the multi-shard arena's non-monotone fallback; a
@@ -674,8 +689,7 @@ where
         let byz_in_degree: Vec<u32> = if arena_active {
             (0..n)
                 .map(|v| {
-                    graph
-                        .neighbors(NodeId(v as u32))
+                    g.neighbors(NodeId(v as u32))
                         .filter(|w| is_byzantine[w.index()])
                         .count() as u32
                 })
@@ -727,6 +741,33 @@ where
         } else {
             (Vec::new(), Vec::new(), Vec::new())
         };
+        // Built before the struct literal: these capacity closures borrow
+        // the graph through `g`, and the literal moves `graph` itself.
+        let inboxes: Vec<Vec<Envelope<P::Message>>> = (0..n)
+            .map(|v| Vec::with_capacity(per_node_cap(v)))
+            .collect();
+        let staged: Vec<Vec<Envelope<P::Message>>> = (0..n)
+            .map(|v| Vec::with_capacity(per_node_cap(v)))
+            .collect();
+        let outboxes: Vec<Vec<(u32, P::Message)>> =
+            (0..n).map(|v| Vec::with_capacity(degree(v))).collect();
+        let shard_queues: Vec<Vec<Routed<P::Message>>> = (0..num_shards)
+            .map(|s| Vec::with_capacity(shard_cap(s)))
+            .collect();
+        let inbox_ranks: Vec<Vec<u32>> = (0..n)
+            .map(|v| Vec::with_capacity(per_node_cap(v)))
+            .collect();
+        let inbox_pos: Vec<Vec<u32>> = (0..n)
+            .map(|v| {
+                // Sort scratch: under the licensed pipelines only
+                // Byzantine-adjacent inboxes ever sort.
+                if !licensed || byz_adjacent[v] {
+                    Vec::with_capacity(degree(v))
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
         Simulation {
             graph,
             config,
@@ -740,13 +781,9 @@ where
             protocols,
             rngs,
             adversary_rng,
-            inboxes: (0..n)
-                .map(|v| Vec::with_capacity(per_node_cap(v)))
-                .collect(),
-            staged: (0..n)
-                .map(|v| Vec::with_capacity(per_node_cap(v)))
-                .collect(),
-            outboxes: (0..n).map(|v| Vec::with_capacity(degree(v))).collect(),
+            inboxes,
+            staged,
+            outboxes,
             arena: InboxArena::new(n, &deg_offsets, arena_cap),
             arena_staged: InboxArena::new(n, &deg_offsets, arena_cap),
             dest_counts: vec![0; if arena_active { n } else { 0 }],
@@ -764,23 +801,9 @@ where
             honest_ranks: Vec::with_capacity(flat_cap),
             byz_outgoing: Vec::new(),
             byz_ranks: Vec::new(),
-            shard_queues: (0..num_shards)
-                .map(|s| Vec::with_capacity(shard_cap(s)))
-                .collect(),
-            inbox_ranks: (0..n)
-                .map(|v| Vec::with_capacity(per_node_cap(v)))
-                .collect(),
-            inbox_pos: (0..n)
-                .map(|v| {
-                    // Sort scratch: under the licensed pipelines only
-                    // Byzantine-adjacent inboxes ever sort.
-                    if !licensed || byz_adjacent[v] {
-                        Vec::with_capacity(degree(v))
-                    } else {
-                        Vec::new()
-                    }
-                })
-                .collect(),
+            shard_queues,
+            inbox_ranks,
+            inbox_pos,
             sender_counts,
             fused,
             arena_active,
@@ -805,6 +828,28 @@ where
     /// Current round (0 before the first [`Simulation::step`]).
     pub fn round(&self) -> u64 {
         self.round
+    }
+
+    /// Message accounting so far (live view; [`SimReport::metrics`] is a
+    /// clone of this at stop time).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Round at which each node first reported an output, indexed by
+    /// graph node (`None` for undecided and Byzantine nodes).
+    pub(crate) fn decided_rounds(&self) -> &[Option<u64>] {
+        &self.decided_round
+    }
+
+    /// Per-node halted flags (`false` for Byzantine nodes).
+    pub(crate) fn halted_flags(&self) -> &[bool] {
+        &self.halted
+    }
+
+    /// Per-node Byzantine indicator.
+    pub(crate) fn byzantine_flags(&self) -> &[bool] {
+        &self.is_byzantine
     }
 
     /// The protocol instance of an honest, in-flight node.
@@ -912,7 +957,7 @@ where
         } else {
             InboxesView::PerNode(&self.inboxes)
         };
-        for u in 0..self.graph.len() {
+        for u in 0..self.graph().len() {
             if self.is_byzantine[u] || self.halted[u] {
                 continue;
             }
@@ -933,7 +978,7 @@ where
 
     #[cfg(feature = "parallel")]
     fn honest_phase_parallel(&mut self) {
-        let n = self.graph.len();
+        let n = self.graph().len();
         // One leaf per ~4 chunks per thread keeps the spawn count low (the
         // vendored rayon spawns a scoped thread per join) while still
         // splitting hot graphs; tiny simulations stay effectively serial.
@@ -970,7 +1015,7 @@ where
     fn merge_outboxes(&mut self) {
         debug_assert!(self.honest_outgoing.is_empty());
         debug_assert!(self.honest_ranks.is_empty());
-        for u in 0..self.graph.len() {
+        for u in 0..self.graph().len() {
             let from = NodeId(u as u32);
             let targets = self.delivery_map.targets_of(u);
             for (slot, msg) in self.outboxes[u].drain(..) {
@@ -1044,7 +1089,7 @@ where
     /// unsharded path. The per-shard scatter (+ sort where needed) then
     /// runs in delivery, in parallel when configured.
     fn merge_fused_sharded(&mut self) {
-        let n = self.graph.len();
+        let n = self.graph().len();
         let id_bits = self.config.id_bits;
         let num_shards = self.shard_queues.len();
         let shard_queues = &mut self.shard_queues;
@@ -1099,7 +1144,7 @@ where
     /// left-to-right at round end, so the totals are bit-identical to the
     /// serial sweep's whatever the scheduling.
     fn merge_arena_count(&mut self) {
-        let n = self.graph.len();
+        let n = self.graph().len();
         #[cfg(feature = "parallel")]
         let parallel = self.config.parallel;
         #[cfg(not(feature = "parallel"))]
@@ -1186,7 +1231,7 @@ where
     /// bump per message). Runs only when a round's shape exceeds the
     /// degree-presized bound.
     fn count_dests(&mut self) {
-        for u in 0..self.graph.len() {
+        for u in 0..self.graph().len() {
             let outbox = &self.outboxes[u];
             if outbox.is_empty() {
                 continue;
@@ -1302,14 +1347,17 @@ where
         let arena = &mut self.arena_staged;
         arena.senders_static = false;
         arena.lens_full = false;
-        if arena.msgs.len() < self.graph.degree_sum() {
+        if arena.msgs.len() < std::borrow::Borrow::<Graph>::borrow(&self.graph).degree_sum() {
             if let Some(filler) = self
                 .outboxes
                 .iter()
                 .find_map(|ob| ob.first().map(|(_, m)| m.clone()))
                 .or_else(|| self.byz_outgoing.first().map(|(_, _, m)| m.clone()))
             {
-                arena.grow_to(self.graph.degree_sum(), filler);
+                arena.grow_to(
+                    std::borrow::Borrow::<Graph>::borrow(&self.graph).degree_sum(),
+                    filler,
+                );
             } else {
                 // A silent round before any traffic existed: nothing to
                 // place; the previously-touched spans still need
@@ -1398,7 +1446,7 @@ where
     fn rebuild_staged_actives(&mut self) {
         self.staged_actives.clear();
         let arena = &self.arena_staged;
-        for v in 0..self.graph.len() {
+        for v in 0..self.graph().len() {
             if arena.lens[v] > 0 {
                 self.staged_actives.push(v as u32);
             }
@@ -1416,6 +1464,7 @@ where
         if slot_total == 0 {
             return;
         }
+        let n = self.graph().len();
         let arena = &mut self.arena_staged;
         if arena.msgs.len() < slot_total {
             let filler = self
@@ -1437,7 +1486,7 @@ where
             arena.lens.copy_from_slice(&self.bcast_lens);
             arena.lens_full = true;
         }
-        for u in 0..self.graph.len() {
+        for u in 0..n {
             let outbox = &mut self.outboxes[u];
             let base = self.bcast_bases[u] as usize;
             for (i, (_, msg)) in outbox.drain(..).enumerate() {
@@ -1456,14 +1505,17 @@ where
         let arena = &mut self.arena_staged;
         arena.senders_static = false;
         arena.lens_full = false;
-        if arena.msgs.len() < self.graph.degree_sum() {
+        if arena.msgs.len() < std::borrow::Borrow::<Graph>::borrow(&self.graph).degree_sum() {
             if let Some(filler) = self
                 .outboxes
                 .iter()
                 .find_map(|ob| ob.first().map(|(_, m)| m.clone()))
                 .or_else(|| self.byz_outgoing.first().map(|(_, _, m)| m.clone()))
             {
-                arena.grow_to(self.graph.degree_sum(), filler);
+                arena.grow_to(
+                    std::borrow::Borrow::<Graph>::borrow(&self.graph).degree_sum(),
+                    filler,
+                );
             } else {
                 // A silent round before any traffic existed: nothing to
                 // place, and no filler to grow with.
@@ -1534,7 +1586,7 @@ where
     /// count/prefix-sum merge, for rounds whose shape exceeds the
     /// degree-presized bound.
     fn deliver_arena_two_pass(&mut self) {
-        let n = self.graph.len();
+        let n = self.graph().len();
         for (_, to, _) in &self.byz_outgoing {
             self.dest_counts[to.index()] += 1;
         }
@@ -1663,7 +1715,7 @@ where
     /// queue — [`Simulation::merge_fused_sharded`]'s routing without the
     /// metrics pass (the merge scan already recorded them).
     fn partition_shard_queues(&mut self) {
-        let n = self.graph.len();
+        let n = self.graph().len();
         let num_shards = self.shard_queues.len();
         for &u in &self.pid_order {
             let u = u as usize;
@@ -1691,7 +1743,7 @@ where
     /// sort *per shard* — in parallel when configured, through the same
     /// [`crate::pool`] splitter as the rest of the engine.
     fn deliver_arena_sharded_queued(&mut self) {
-        let n = self.graph.len();
+        let n = self.graph().len();
         let num_shards = self.shard_queues.len();
         for ((from, to, msg), rank) in self.byz_outgoing.drain(..).zip(self.byz_ranks.drain(..)) {
             self.shard_queues[shard_of(to.index(), n, num_shards)].push(Routed {
@@ -1747,8 +1799,8 @@ where
     /// read-only scan per lane is the price of zero cross-lane
     /// coordination. Outboxes are cleared serially afterwards.
     fn deliver_arena_sharded_fast(&mut self) {
-        let n = self.graph.len();
-        let slot_total = self.graph.degree_sum();
+        let n = self.graph().len();
+        let slot_total = self.graph().degree_sum();
         let arena = &mut self.arena_staged;
         arena.senders_static = false;
         arena.lens_full = false;
@@ -1817,7 +1869,7 @@ where
     /// Fans the per-shard count/prefix/scatter/sort leaves out over the
     /// worker pool (serially without the `parallel` feature or flag).
     fn run_arena_lanes(&mut self) {
-        let n = self.graph.len();
+        let n = self.graph().len();
         let geometry = ArenaGeometry {
             n,
             shards: self.shard_queues.len(),
@@ -1856,7 +1908,7 @@ where
         debug_assert!(self.byz_outgoing.is_empty());
         let view = FullInfoView {
             round: self.round,
-            graph: self.graph,
+            graph: self.graph.borrow(),
             pids: &self.pids,
             pid_index: &self.pid_index,
             is_byzantine: &self.is_byzantine,
@@ -1869,7 +1921,7 @@ where
             },
         };
         let mut ctx = ByzantineContext {
-            graph: self.graph,
+            graph: self.graph.borrow(),
             is_byzantine: &self.is_byzantine,
             rng: &mut self.adversary_rng,
             outgoing: &mut self.byz_outgoing,
@@ -1941,7 +1993,7 @@ where
         }
         self.metrics.rounds = self.round;
         if self.config.record_round_stats {
-            let n = self.graph.len();
+            let n = self.graph().len();
             self.metrics.messages_per_round.push(message_count);
             let byzantine_messages = message_count - honest_message_count;
             let (decided, halted) = if self.sparse_active {
@@ -2043,7 +2095,7 @@ where
             });
             self.inbox_ranks[to.index()].push(rank);
         }
-        for v in 0..self.graph.len() {
+        for v in 0..self.graph().len() {
             if !self.byz_adjacent[v] {
                 continue;
             }
@@ -2061,7 +2113,7 @@ where
     /// Stable in-place counting sort of every staged inbox (the shared
     /// tail of the unsharded counting-sort paths).
     fn finish_all_inboxes(&mut self) {
-        for v in 0..self.graph.len() {
+        for v in 0..self.graph().len() {
             let c0 = self.sender_ranks.offset(v);
             let c1 = self.sender_ranks.offset(v + 1);
             finish_inbox(
@@ -2079,7 +2131,7 @@ where
     /// the inboxes. With the `parallel` feature and
     /// [`SimConfig::parallel`], shards fan out via `rayon::join`.
     fn deliver_sharded(&mut self) {
-        let n = self.graph.len();
+        let n = self.graph().len();
         let num_shards = self.shard_queues.len();
         for ((from, to, msg), rank) in self
             .honest_outgoing
@@ -2108,7 +2160,7 @@ where
     /// honest traffic into the shard queues; append the Byzantine traffic
     /// (order preserved) and run the per-shard scatter + counting sort.
     fn deliver_fused_sharded(&mut self) {
-        let n = self.graph.len();
+        let n = self.graph().len();
         let num_shards = self.shard_queues.len();
         for ((from, to, msg), rank) in self.byz_outgoing.drain(..).zip(self.byz_ranks.drain(..)) {
             self.shard_queues[shard_of(to.index(), n, num_shards)].push(Routed {
@@ -2128,7 +2180,7 @@ where
     /// tags and the sort at Byzantine-free inboxes.
     fn run_shard_lanes(&mut self) {
         let geometry = ShardGeometry {
-            n: self.graph.len(),
+            n: self.graph().len(),
             shards: self.shard_queues.len(),
             senders: &self.sender_ranks,
             pids: &self.pids,
@@ -2169,6 +2221,7 @@ where
     /// the merged traffic staged (benchmark/instrumentation hook; pair
     /// with [`Simulation::step`]-equivalent completion or
     /// [`Simulation::drop_round_traffic`], never with a bare repeat).
+    #[cfg(feature = "bench-probes")]
     #[doc(hidden)]
     pub fn bench_compute_merge(&mut self) {
         self.round += 1;
@@ -2179,6 +2232,7 @@ where
     /// Runs the honest compute phase alone (benchmark hook; reset the
     /// filled outboxes with [`Simulation::drop_round_traffic`] — arena
     /// pipeline only, which is where outboxes outlive the merge).
+    #[cfg(feature = "bench-probes")]
     #[doc(hidden)]
     pub fn bench_compute_only(&mut self) {
         debug_assert!(self.arena_active);
@@ -2191,6 +2245,7 @@ where
     /// micro-benchmark. Covers every merge variant: the flat vector, the
     /// fused-scattered staging, the shard queues, and the arena's counted
     /// (but not yet scattered) outboxes.
+    #[cfg(feature = "bench-probes")]
     #[doc(hidden)]
     pub fn drop_round_traffic(&mut self) {
         self.honest_outgoing.clear();
@@ -2224,6 +2279,7 @@ where
     /// round's shape (benchmark hook for `engine_phases/count_pass`; the
     /// production fast path would skip the count on monotone rounds).
     /// Reset with [`Simulation::drop_round_traffic`].
+    #[cfg(feature = "bench-probes")]
     #[doc(hidden)]
     pub fn bench_count_pass(&mut self) {
         debug_assert!(self.arena_active && !self.config.sharded_merge);
@@ -2237,6 +2293,7 @@ where
     /// the count pass if the fast path skipped it (benchmark hook; call
     /// after [`Simulation::bench_compute_merge`], reset afterwards).
     /// Requires the unsharded arena pipeline.
+    #[cfg(feature = "bench-probes")]
     #[doc(hidden)]
     pub fn bench_snapshot_counts(&mut self) -> Vec<u32> {
         debug_assert!(
@@ -2257,10 +2314,11 @@ where
     /// the tallies and turns them into staged-arena spans (the
     /// `engine_phases/placement` micro-benchmark). Leaves the cursors
     /// untouched, so it is repeatable.
+    #[cfg(feature = "bench-probes")]
     #[doc(hidden)]
     pub fn bench_arena_placement(&mut self, counts: &[u32]) {
         debug_assert!(self.arena_active && !self.config.sharded_merge);
-        let n = self.graph.len();
+        let n = self.graph().len();
         debug_assert_eq!(counts.len(), n);
         let arena = &mut self.arena_staged;
         arena.offsets_static = false;
@@ -2280,6 +2338,7 @@ where
     /// Completes a round started with [`Simulation::bench_compute_merge`]
     /// through delivery (no adversary phase; Byzantine staging must be
     /// empty) — the other half of the phase micro-benchmarks.
+    #[cfg(feature = "bench-probes")]
     #[doc(hidden)]
     pub fn bench_deliver_staged(&mut self) {
         debug_assert!(self.byz_outgoing.is_empty());
@@ -2289,6 +2348,7 @@ where
     /// Clones the currently merged honest traffic (benchmark hook).
     /// Requires the flat pipeline — the fused merge never materializes a
     /// snapshot-able flat vector.
+    #[cfg(feature = "bench-probes")]
     #[doc(hidden)]
     pub fn bench_snapshot_traffic(&self) -> TrafficSnapshot<P::Message> {
         debug_assert!(!self.fused, "snapshotting requires the flat pipeline");
@@ -2302,6 +2362,7 @@ where
     /// the delivery micro-benchmark (the refill clone is the same for
     /// every delivery mode, so mode-to-mode deltas are delivery cost).
     /// Requires the flat pipeline, like [`Simulation::bench_snapshot_traffic`].
+    #[cfg(feature = "bench-probes")]
     #[doc(hidden)]
     pub fn bench_deliver_snapshot(&mut self, snapshot: &TrafficSnapshot<P::Message>) {
         debug_assert!(!self.fused, "snapshot delivery requires the flat pipeline");
@@ -2318,12 +2379,12 @@ where
     /// condition actually needs is computed; under the sparse schedule
     /// the maintained counters answer in O(1), and the dense scans
     /// short-circuit at the first still-running node.
-    fn stop_reason(&self) -> Option<StopReason> {
+    pub(crate) fn stop_reason(&self) -> Option<StopReason> {
         let all_halted = || {
             if self.sparse_active {
                 self.halted_count == self.honest_total
             } else {
-                (0..self.graph.len())
+                (0..self.graph().len())
                     .filter(|&u| !self.is_byzantine[u])
                     .all(|u| self.halted[u])
             }
@@ -2332,7 +2393,7 @@ where
             if self.sparse_active {
                 self.decided_count == self.honest_total
             } else {
-                (0..self.graph.len())
+                (0..self.graph().len())
                     .filter(|&u| !self.is_byzantine[u])
                     .all(|u| self.decided_round[u].is_some())
             }
@@ -2369,7 +2430,7 @@ where
     }
 
     /// Builds a report of the current state.
-    fn report(&self, stop_reason: StopReason) -> SimReport<P::Output> {
+    pub(crate) fn report(&self, stop_reason: StopReason) -> SimReport<P::Output> {
         SimReport {
             rounds: self.round,
             outputs: self
@@ -2389,12 +2450,14 @@ where
 
 /// A clone of one round's merged honest traffic; see
 /// [`Simulation::bench_snapshot_traffic`].
+#[cfg(feature = "bench-probes")]
 #[doc(hidden)]
 pub struct TrafficSnapshot<M> {
     honest: Vec<(NodeId, NodeId, M)>,
     ranks: Vec<u32>,
 }
 
+#[cfg(feature = "bench-probes")]
 impl<M> TrafficSnapshot<M> {
     /// Number of messages in the snapshot.
     pub fn len(&self) -> usize {
@@ -3154,6 +3217,16 @@ fn delivery_lane_leaf<M>(geometry: ShardGeometry<'_>, lane: DeliveryLane<'_, M>)
 /// Runs one node's round against its own state slices. Shared between the
 /// serial and parallel compute paths so they are behaviourally identical
 /// by construction.
+///
+/// In debug builds, a protocol that declares
+/// [`Protocol::QUIESCENT_ON_SILENCE`] has the promise *verified* here
+/// rather than trusted: whenever a silent round (empty inbox, past the
+/// first round) is actually driven — i.e. on the dense schedule, where
+/// the sparse optimization the promise licenses is not skipping the
+/// node — the node must send nothing, draw no randomness, and leave its
+/// observable decision state (output presence, halted flag) unchanged.
+/// A violation panics with the offending node, instead of silently
+/// producing sparse-vs-dense transcript divergence.
 #[allow(clippy::too_many_arguments)]
 fn drive_node<P: Protocol>(
     round: u64,
@@ -3167,6 +3240,9 @@ fn drive_node<P: Protocol>(
     halted: &mut bool,
 ) {
     debug_assert!(outbox.is_empty(), "outbox drained by the previous merge");
+    #[cfg(debug_assertions)]
+    let silence_probe = (P::QUIESCENT_ON_SILENCE && round > 1 && inbox.is_empty())
+        .then(|| (rng.clone(), proto.output().is_some(), proto.has_halted()));
     let mut ctx = NodeContext {
         round,
         me,
@@ -3176,6 +3252,25 @@ fn drive_node<P: Protocol>(
         outgoing: outbox,
     };
     proto.on_round(&mut ctx);
+    #[cfg(debug_assertions)]
+    if let Some((rng_before, decided_before, halted_before)) = silence_probe {
+        assert!(
+            outbox.is_empty(),
+            "QUIESCENT_ON_SILENCE violated: node {me:?} sent {} message(s) \
+             on a silent round {round}",
+            outbox.len()
+        );
+        assert!(
+            *rng == rng_before,
+            "QUIESCENT_ON_SILENCE violated: node {me:?} drew randomness \
+             on a silent round {round}"
+        );
+        assert!(
+            proto.output().is_some() == decided_before && proto.has_halted() == halted_before,
+            "QUIESCENT_ON_SILENCE violated: node {me:?} changed decision \
+             state on a silent round {round}"
+        );
+    }
     if decided_round.is_none() && proto.output().is_some() {
         *decided_round = Some(round);
     }
@@ -3350,7 +3445,7 @@ mod tests {
         g: &'g Graph,
         byz: &[NodeId],
         cfg: SimConfig,
-    ) -> Simulation<'g, FloodMax, NullAdversary> {
+    ) -> Simulation<&'g Graph, FloodMax, NullAdversary> {
         Simulation::new(
             g,
             byz,
@@ -3714,7 +3809,7 @@ mod tests {
             for _ in 0..10 {
                 sim.step();
             }
-            let snapshot = |sim: &Simulation<'_, FloodMax, NullAdversary>| {
+            let snapshot = |sim: &Simulation<&Graph, FloodMax, NullAdversary>| {
                 (
                     sim.inboxes.iter().map(Vec::capacity).collect::<Vec<_>>(),
                     sim.staged.iter().map(Vec::capacity).collect::<Vec<_>>(),
@@ -3954,7 +4049,7 @@ mod tests {
             for _ in 0..10 {
                 sim.step();
             }
-            let snapshot = |sim: &Simulation<'_, FloodMax, NullAdversary>| {
+            let snapshot = |sim: &Simulation<&Graph, FloodMax, NullAdversary>| {
                 let arena = |a: &InboxArena<Pid>| {
                     (
                         a.offsets.len(),

@@ -5,7 +5,11 @@
 //! instead: [`Metrics`], [`NodeMetrics`], [`RoundTrace`], [`Pid`],
 //! [`StopReason`], and [`SimReport`] all round-trip losslessly
 //! (`crates/sim/tests/json_roundtrip.rs` property-tests
-//! `read(write(x)) == x`).
+//! `read(write(x)) == x`). The execution-facade types
+//! [`ExecutionSnapshot`], [`EstimateSummary`], and [`NodeState`] are
+//! serialized here too — they are the payloads of the `bcountd/v1`
+//! query plane (`crates/daemon`), so their field names are wire schema
+//! as well.
 //!
 //! Field names are part of the artifact schema documented in the README;
 //! renaming one is a schema version bump.
@@ -13,6 +17,7 @@
 use bcount_json::{field, FromJson, Json, JsonError, ToJson};
 
 use crate::engine::{SimReport, StopReason};
+use crate::execution::{EstimateSummary, ExecutionSnapshot, NodeState};
 use crate::idspace::Pid;
 use crate::metrics::{Metrics, NodeMetrics};
 use crate::trace::RoundTrace;
@@ -146,6 +151,86 @@ impl<O: FromJson> FromJson for SimReport<O> {
             pids: field(json, "pids")?,
             metrics: field(json, "metrics")?,
             stop_reason: field(json, "stop_reason")?,
+        })
+    }
+}
+
+impl ToJson for EstimateSummary {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", self.count.to_json()),
+            ("min", self.min.to_json()),
+            ("max", self.max.to_json()),
+            ("mean", self.mean.to_json()),
+            ("median", self.median.to_json()),
+        ])
+    }
+}
+
+impl FromJson for EstimateSummary {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(EstimateSummary {
+            count: field(json, "count")?,
+            min: field(json, "min")?,
+            max: field(json, "max")?,
+            mean: field(json, "mean")?,
+            median: field(json, "median")?,
+        })
+    }
+}
+
+impl ToJson for ExecutionSnapshot {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("round", self.round.to_json()),
+            ("n", self.n.to_json()),
+            ("honest", self.honest.to_json()),
+            ("byzantine", self.byzantine.to_json()),
+            ("decided", self.decided.to_json()),
+            ("halted", self.halted.to_json()),
+            ("stop", self.stop.to_json()),
+            ("estimate", self.estimate.to_json()),
+            ("messages_total", self.messages_total.to_json()),
+            ("bits_total", self.bits_total.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ExecutionSnapshot {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(ExecutionSnapshot {
+            round: field(json, "round")?,
+            n: field(json, "n")?,
+            honest: field(json, "honest")?,
+            byzantine: field(json, "byzantine")?,
+            decided: field(json, "decided")?,
+            halted: field(json, "halted")?,
+            stop: field(json, "stop")?,
+            estimate: field(json, "estimate")?,
+            messages_total: field(json, "messages_total")?,
+            bits_total: field(json, "bits_total")?,
+        })
+    }
+}
+
+impl ToJson for NodeState {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("byzantine", self.byzantine.to_json()),
+            ("halted", self.halted.to_json()),
+            ("decided_round", self.decided_round.to_json()),
+            ("estimate", self.estimate.to_json()),
+        ])
+    }
+}
+
+impl FromJson for NodeState {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(NodeState {
+            byzantine: field(json, "byzantine")?,
+            halted: field(json, "halted")?,
+            decided_round: field(json, "decided_round")?,
+            estimate: field(json, "estimate")?,
         })
     }
 }

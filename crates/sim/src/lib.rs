@@ -65,6 +65,7 @@
 
 pub mod adversary;
 pub mod engine;
+pub mod execution;
 pub mod idspace;
 pub mod json;
 pub mod message;
@@ -79,6 +80,10 @@ pub use engine::{
     DeliveryMode, InboxLayout, NodeInit, PhaseSend, PhaseShared, SimConfig, SimReport, Simulation,
     StopReason, StopWhen,
 };
+pub use execution::{
+    ConfigError, DynExecution, EstimateSummary, Execution, ExecutionSnapshot, NodeState,
+    SimConfigBuilder,
+};
 pub use idspace::{Pid, PidIndex, SenderRanks};
 pub use message::{DeliveryMap, Envelope, EnvelopeRef, Inbox, InboxIter, MessageSize, SlotTarget};
 pub use metrics::{Metrics, NodeMetrics};
@@ -92,6 +97,10 @@ pub mod prelude {
     pub use crate::engine::{
         DeliveryMode, InboxLayout, NodeInit, PhaseSend, PhaseShared, SimConfig, SimReport,
         Simulation, StopReason, StopWhen,
+    };
+    pub use crate::execution::{
+        ConfigError, DynExecution, EstimateSummary, Execution, ExecutionSnapshot, NodeState,
+        SimConfigBuilder,
     };
     pub use crate::idspace::{Pid, PidIndex, SenderRanks};
     pub use crate::message::{

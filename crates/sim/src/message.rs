@@ -160,6 +160,23 @@ impl<'a, M> Inbox<'a, M> {
         self.iter().any(|e| e.sender == who)
     }
 
+    /// Folds over the payloads alone, in inbox (sender-sorted) order —
+    /// the aggregate-only fast path.
+    ///
+    /// [`Inbox::iter`] widens every message's sender through the pid
+    /// table (`pids[senders[i]]` — one dependent load per message on the
+    /// arena layout) to build each [`EnvelopeRef`]. An aggregate-only
+    /// protocol (max, sum, any-of) never reads the sender, so this fold
+    /// walks the payload plane directly: a plain slice scan on the arena
+    /// layout, with no sender loads and no per-message struct assembly.
+    /// Payload order is identical to [`Inbox::iter`]'s.
+    pub fn fold_payloads<B>(self, init: B, mut fold: impl FnMut(B, &'a M) -> B) -> B {
+        match self {
+            Inbox::Packed(envelopes) => envelopes.iter().fold(init, |acc, env| fold(acc, &env.msg)),
+            Inbox::Split { msgs, .. } => msgs.iter().fold(init, fold),
+        }
+    }
+
     /// Materializes the view as owned envelopes (allocates; for protocols
     /// that want to mutate state while walking their intake, and for
     /// cross-layout test comparisons).

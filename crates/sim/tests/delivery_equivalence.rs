@@ -101,7 +101,7 @@ fn spray_sim<'g>(
     rounds: u64,
     delivery: DeliveryMode,
     sharded: bool,
-) -> Simulation<'g, SprayFlood, DoubleSpam> {
+) -> Simulation<&'g Graph, SprayFlood, DoubleSpam> {
     Simulation::new(
         g,
         byz,

@@ -16,6 +16,7 @@
 //! | [`json`] | hand-rolled dependency-free JSON behind the experiment/bench artifacts |
 //! | [`baselines`] | the classical size-estimation protocols of §1.2 and their one-node breaks |
 //! | [`apps`] | the §1.1 application: counting → almost-everywhere Byzantine agreement |
+//! | [`daemon`] | `bcountd`, the long-lived session server speaking line-delimited `bcountd/v1` JSON |
 //!
 //! ## Quickstart
 //!
@@ -58,6 +59,7 @@
 pub use bcount_apps as apps;
 pub use bcount_baselines as baselines;
 pub use bcount_core as core;
+pub use bcount_daemon as daemon;
 pub use bcount_graph as graph;
 pub use bcount_json as json;
 pub use bcount_sim as sim;
@@ -75,6 +77,7 @@ pub mod prelude {
     pub use bcount_core::congest::{CongestCounting, CongestEstimate, CongestParams};
     pub use bcount_core::estimate::{Band, EstimateReport};
     pub use bcount_core::local::{LocalConfig, LocalCounting, LocalEstimate, LocalTrigger};
+    pub use bcount_daemon::{Server, SessionSpec};
     pub use bcount_graph::gen::{
         barbell, bridged_expanders, complete, configuration_model, cycle, erdos_renyi, hnd, path,
         random_regular_simple, star, torus2d, watts_strogatz,

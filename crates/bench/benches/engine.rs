@@ -47,8 +47,8 @@
 use bcount_bench::runners::network;
 use bcount_daemon::Server;
 use bcount_sim::{
-    DeliveryMode, InboxLayout, MessageSize, NodeContext, NullAdversary, Protocol, SimConfig,
-    Simulation, StopWhen,
+    CrashEvent, DeliveryMode, FaultPlan, InboxLayout, MessageSize, NodeContext, NullAdversary,
+    Protocol, SimConfig, Simulation, StopWhen,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::time::Duration;
@@ -192,6 +192,37 @@ fn bench_engine(c: &mut Criterion) {
                     fsim.step();
                 }
                 fsim.round()
+            });
+        });
+
+        // The fault-injection overhead lane: the same steady-state loop
+        // under a mixed drop/dup/delay plan with two early crashes. A
+        // non-empty plan pins the flat oracle pipeline, so the honest
+        // denominator for this lane is `reuse_buffers_flat` — the delta
+        // is the per-message fault roll plus the pending-delivery queue.
+        let mut xsim = warmed(
+            &g,
+            SimConfig {
+                fault: FaultPlan {
+                    seed: 0xC4A05,
+                    crashes: vec![
+                        CrashEvent { round: 2, node: 3 },
+                        CrashEvent { round: 5, node: 17 },
+                    ],
+                    drop_per_mille: 50,
+                    dup_per_mille: 25,
+                    delay_per_mille: 25,
+                    delay_rounds: 2,
+                },
+                ..chatter_config(false)
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("reuse_buffers_faulty", n), &n, |b, _| {
+            b.iter(|| {
+                for _ in 0..ROUNDS {
+                    xsim.step();
+                }
+                xsim.round()
             });
         });
 

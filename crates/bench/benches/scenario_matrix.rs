@@ -39,6 +39,7 @@ fn matrix_scenario() -> Scenario {
         max_rounds: 400,
         graph_seed_base: 4_000,
         run_to_halt: false,
+        fault: None,
     }
 }
 

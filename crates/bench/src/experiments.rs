@@ -84,6 +84,7 @@ fn base_scenario(name: &str) -> Scenario {
         max_rounds: 8_000,
         graph_seed_base: 0,
         run_to_halt: false,
+        fault: None,
     }
 }
 
@@ -229,6 +230,7 @@ pub fn e6_scenarios() -> Vec<Scenario> {
         max_rounds: 60_000,
         graph_seed_base: 6000,
         run_to_halt: true,
+        fault: None,
         ..base_scenario("e6/congest/benign")
     }]
 }
@@ -363,6 +365,7 @@ pub fn family_scenarios() -> Vec<Scenario> {
         seeds: vec![3],
         max_rounds: 20_000,
         run_to_halt: true,
+        fault: None,
         graph_seed_base: 15_000,
         ..base_scenario("family/watts-strogatz/congest-benign")
     }]

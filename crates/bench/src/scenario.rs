@@ -41,8 +41,8 @@ use bcount_graph::gen::{cycle, hnd, torus2d, watts_strogatz};
 use bcount_graph::{Graph, NodeId};
 use bcount_json::{Json, ToJson};
 use bcount_sim::{
-    Adversary, NullAdversary, PhaseSend, PhaseShared, Protocol, SimConfig, SimReport, Simulation,
-    StopReason, StopWhen,
+    Adversary, FaultPlan, NullAdversary, PhaseSend, PhaseShared, Protocol, SimConfig, SimReport,
+    Simulation, StopReason, StopWhen,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -341,6 +341,12 @@ pub struct Scenario {
     /// Run to the halting stop condition instead of stopping at first
     /// full decision (E6's termination study).
     pub run_to_halt: bool,
+    /// Deterministic fault plan applied to every cell (`None` = the
+    /// fault-free matrix). A non-empty plan pins the engine to the
+    /// flat oracle pipeline, so faulty sweeps are slower but stay
+    /// byte-deterministic (the plan's own seed drives the fault RNG;
+    /// the cell seed never feeds it).
+    pub fault: Option<FaultPlan>,
 }
 
 impl Scenario {
@@ -410,6 +416,14 @@ pub struct CellOutcome {
     /// Fraction of honest nodes within the `O(log n)`-bit small-message
     /// limit of E5.
     pub small_msg_fraction: f64,
+    /// Honest messages dropped by the cell's fault plan (0 without one).
+    pub dropped: u64,
+    /// Honest messages duplicated by the fault plan.
+    pub duplicated: u64,
+    /// Honest messages delayed by the fault plan.
+    pub delayed: u64,
+    /// Nodes crash-stopped by the fault plan.
+    pub crashed: u64,
 }
 
 impl ToJson for CellOutcome {
@@ -425,6 +439,10 @@ impl ToJson for CellOutcome {
             ("msg_bits_median", self.msg_bits_median.to_json()),
             ("msg_bits_p99", self.msg_bits_p99.to_json()),
             ("small_msg_fraction", self.small_msg_fraction.to_json()),
+            ("dropped", self.dropped.to_json()),
+            ("duplicated", self.duplicated.to_json()),
+            ("delayed", self.delayed.to_json()),
+            ("crashed", self.crashed.to_json()),
         ])
     }
 }
@@ -591,7 +609,7 @@ fn run_cell(s: &Scenario, g: &Graph, byz: &[NodeId], sim_seed: u64) -> CellOutco
                     factory,
                     NullAdversary,
                     sim_seed,
-                    s.max_rounds,
+                    s,
                     stop_when,
                 )),
                 AdversarySpec::BeaconSpam => finish(simulate(
@@ -600,7 +618,7 @@ fn run_cell(s: &Scenario, g: &Graph, byz: &[NodeId], sim_seed: u64) -> CellOutco
                     factory,
                     BeaconSpamAdversary::new(params),
                     sim_seed,
-                    s.max_rounds,
+                    s,
                     stop_when,
                 )),
                 AdversarySpec::PathTamper => finish(simulate(
@@ -609,7 +627,7 @@ fn run_cell(s: &Scenario, g: &Graph, byz: &[NodeId], sim_seed: u64) -> CellOutco
                     factory,
                     PathTamperAdversary::new(params),
                     sim_seed,
-                    s.max_rounds,
+                    s,
                     stop_when,
                 )),
                 AdversarySpec::OscillatingSpam => finish(simulate(
@@ -618,7 +636,7 @@ fn run_cell(s: &Scenario, g: &Graph, byz: &[NodeId], sim_seed: u64) -> CellOutco
                     factory,
                     OscillatingSpamAdversary::new(params),
                     sim_seed,
-                    s.max_rounds,
+                    s,
                     stop_when,
                 )),
                 other => panic!("adversary {other:?} is incompatible with the CONGEST protocol"),
@@ -636,7 +654,7 @@ fn run_cell(s: &Scenario, g: &Graph, byz: &[NodeId], sim_seed: u64) -> CellOutco
                     factory,
                     NullAdversary,
                     sim_seed,
-                    s.max_rounds,
+                    s,
                     StopWhen::AllHonestHalted,
                 )),
                 AdversarySpec::FakeExpander {
@@ -650,7 +668,7 @@ fn run_cell(s: &Scenario, g: &Graph, byz: &[NodeId], sim_seed: u64) -> CellOutco
                     factory,
                     FakeExpanderAdversary::new(multiplier, d_fake, entries, seed),
                     sim_seed,
-                    s.max_rounds,
+                    s,
                     StopWhen::AllHonestHalted,
                 )),
                 AdversarySpec::EdgeInjector { seed } => finish(simulate(
@@ -659,7 +677,7 @@ fn run_cell(s: &Scenario, g: &Graph, byz: &[NodeId], sim_seed: u64) -> CellOutco
                     factory,
                     EdgeInjectorAdversary::new(seed),
                     sim_seed,
-                    s.max_rounds,
+                    s,
                     StopWhen::AllHonestHalted,
                 )),
                 other => panic!("adversary {other:?} is incompatible with the LOCAL protocol"),
@@ -685,7 +703,7 @@ fn run_cell(s: &Scenario, g: &Graph, byz: &[NodeId], sim_seed: u64) -> CellOutco
                     factory,
                     NullAdversary,
                     sim_seed,
-                    s.max_rounds,
+                    s,
                     StopWhen::AllHonestHalted,
                 )),
                 AdversarySpec::MaxFaker { fake_value } => finish(simulate(
@@ -694,7 +712,7 @@ fn run_cell(s: &Scenario, g: &Graph, byz: &[NodeId], sim_seed: u64) -> CellOutco
                     factory,
                     MaxFakerAdversary { fake_value },
                     sim_seed,
-                    s.max_rounds,
+                    s,
                     StopWhen::AllHonestHalted,
                 )),
                 other => panic!("adversary {other:?} is incompatible with geometric-max"),
@@ -713,7 +731,7 @@ fn run_cell(s: &Scenario, g: &Graph, byz: &[NodeId], sim_seed: u64) -> CellOutco
                     factory,
                     NullAdversary,
                     sim_seed,
-                    s.max_rounds,
+                    s,
                     StopWhen::AllHonestHalted,
                 )),
                 AdversarySpec::ZeroFaker { k } => finish(simulate(
@@ -722,7 +740,7 @@ fn run_cell(s: &Scenario, g: &Graph, byz: &[NodeId], sim_seed: u64) -> CellOutco
                     factory,
                     ZeroFakerAdversary { k },
                     sim_seed,
-                    s.max_rounds,
+                    s,
                     StopWhen::AllHonestHalted,
                 )),
                 other => panic!("adversary {other:?} is incompatible with support-estimation"),
@@ -741,7 +759,7 @@ fn run_cell(s: &Scenario, g: &Graph, byz: &[NodeId], sim_seed: u64) -> CellOutco
                     factory,
                     NullAdversary,
                     sim_seed,
-                    s.max_rounds,
+                    s,
                     StopWhen::AllHonestHalted,
                 )),
                 AdversarySpec::CountLiar { inflation } => finish(simulate(
@@ -750,7 +768,7 @@ fn run_cell(s: &Scenario, g: &Graph, byz: &[NodeId], sim_seed: u64) -> CellOutco
                     factory,
                     CountLiarAdversary { inflation },
                     sim_seed,
-                    s.max_rounds,
+                    s,
                     StopWhen::AllHonestHalted,
                 )),
                 other => panic!("adversary {other:?} is incompatible with convergecast"),
@@ -771,7 +789,7 @@ fn run_cell(s: &Scenario, g: &Graph, byz: &[NodeId], sim_seed: u64) -> CellOutco
                     factory,
                     NullAdversary,
                     sim_seed,
-                    s.max_rounds,
+                    s,
                     StopWhen::AllHonestHalted,
                 )),
                 AdversarySpec::CollisionFaker { duplicate, count } => finish(simulate(
@@ -780,7 +798,7 @@ fn run_cell(s: &Scenario, g: &Graph, byz: &[NodeId], sim_seed: u64) -> CellOutco
                     factory,
                     CollisionFakerAdversary { duplicate, count },
                     sim_seed,
-                    s.max_rounds,
+                    s,
                     StopWhen::AllHonestHalted,
                 )),
                 other => panic!("adversary {other:?} is incompatible with birthday counting"),
@@ -795,7 +813,7 @@ fn simulate<P, A, F>(
     factory: F,
     adversary: A,
     seed: u64,
-    max_rounds: u64,
+    s: &Scenario,
     stop_when: StopWhen,
 ) -> SimReport<P::Output>
 where
@@ -811,8 +829,9 @@ where
         adversary,
         SimConfig {
             seed,
-            max_rounds,
+            max_rounds: s.max_rounds,
             stop_when,
+            fault: s.fault.clone().unwrap_or_default(),
             ..SimConfig::default()
         },
     );
@@ -892,6 +911,10 @@ fn summarize<O>(
         } else {
             small as f64 / all_nodes.len() as f64
         },
+        dropped: report.metrics.dropped,
+        duplicated: report.metrics.duplicated,
+        delayed: report.metrics.delayed,
+        crashed: report.metrics.crashed,
     }
 }
 
@@ -916,6 +939,7 @@ mod tests {
             max_rounds: 8_000,
             graph_seed_base: 900,
             run_to_halt: false,
+            fault: None,
         }
     }
 
@@ -972,6 +996,45 @@ mod tests {
         let cells = run_scenario(&baseline, true, None);
         // The forged maximum swamps every honest estimate.
         assert!(cells[0].outcome.raw_median >= (1 << 20) as f64);
+    }
+
+    #[test]
+    fn faulty_cells_record_fault_counters_and_stay_deterministic() {
+        use bcount_sim::CrashEvent;
+        let faulty = Scenario {
+            name: "test/chaos".into(),
+            fault: Some(FaultPlan {
+                seed: 31,
+                crashes: vec![CrashEvent { round: 2, node: 9 }],
+                drop_per_mille: 80,
+                dup_per_mille: 40,
+                delay_per_mille: 40,
+                delay_rounds: 2,
+            }),
+            ..tiny_congest(AdversarySpec::Null)
+        };
+        let cells = run_scenario(&faulty, true, None);
+        let o = &cells[0].outcome;
+        assert_eq!(o.crashed, 1);
+        assert!(
+            o.dropped > 0 && o.duplicated > 0 && o.delayed > 0,
+            "link faults must engage: {o:?}"
+        );
+        // The plan's seed drives the fault stream: the same scenario is
+        // reproducible cell for cell.
+        assert_eq!(run_scenario(&faulty, true, None), cells);
+        // Counters serialize with the outcome.
+        let json = cells[0].to_json().render().unwrap();
+        let back = Json::parse(&json).unwrap();
+        let outcome = back.get("outcome").unwrap();
+        assert!(outcome.get("dropped").is_some() && outcome.get("crashed").is_some());
+        // And the fault-free matrix reports zeros.
+        let clean = run_scenario(&tiny_congest(AdversarySpec::Null), true, None);
+        let o = &clean[0].outcome;
+        assert_eq!(
+            (o.dropped, o.duplicated, o.delayed, o.crashed),
+            (0, 0, 0, 0)
+        );
     }
 
     #[test]

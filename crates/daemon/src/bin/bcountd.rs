@@ -5,25 +5,85 @@
 //! socket with `--socket PATH` (connections are served sequentially and
 //! share one session table, so a session created over one connection
 //! can be stepped from the next).
+//!
+//! Hardening flags tune the [`ServerLimits`]; `--frozen-clock` pins the
+//! server clock to a manual counter so transcripts that include
+//! `idle_ms` fields are byte-stable (the golden CI transcripts use it).
+//! SIGTERM/SIGINT request a graceful shutdown: the in-flight request
+//! finishes and its reply is flushed before the process exits.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::BufReader;
 
-use bcount_daemon::Server;
+use bcount_daemon::server::ServerLimits;
+use bcount_daemon::{serve_graceful, Server};
 
-const USAGE: &str = "usage: bcountd [--socket PATH]
+const USAGE: &str = "usage: bcountd [--socket PATH] [--max-sessions N] [--max-n N]
+               [--step-timeout-ms MS] [--idle-timeout-ms MS] [--frozen-clock]
 
 Long-lived counting service speaking bcountd/v1 (line-delimited JSON)
-over stdin/stdout, or over a unix socket with --socket.";
+over stdin/stdout, or over a unix socket with --socket.
+
+  --max-sessions N      live-session cap (default 256)
+  --max-n N             per-session node cap (default 1048576)
+  --step-timeout-ms MS  wall-clock budget per session.step; 0 disables
+                        (default 30000)
+  --idle-timeout-ms MS  evict sessions idle this long; 0 disables
+                        (default 900000)
+  --frozen-clock        pin the server clock (deterministic idle_ms /
+                        timeouts, for golden transcripts)";
+
+/// Shutdown flag set by the SIGTERM/SIGINT handler (or never, on
+/// platforms without signals).
+static SHUTDOWN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::Ordering;
+
+    extern "C" fn on_term(_signum: i32) {
+        // Only async-signal-safe work here: flip the flag; the serve
+        // loop notices within one poll tick.
+        super::SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the handler for SIGTERM and SIGINT via the C `signal`
+    /// entry point (no libc crate dependency; the handler address is an
+    /// `extern "C" fn(i32)` exactly as the ABI expects).
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let handler = on_term as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+}
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut socket: Option<String> = None;
+    let mut limits = ServerLimits::default();
+    let mut frozen = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--socket" => match args.next() {
                 Some(path) => socket = Some(path),
                 None => die("--socket requires a path"),
             },
+            "--max-sessions" => limits.max_sessions = num_arg(&mut args, "--max-sessions"),
+            "--max-n" => limits.max_n = num_arg(&mut args, "--max-n"),
+            "--step-timeout-ms" => limits.step_timeout_ms = num_arg(&mut args, "--step-timeout-ms"),
+            "--idle-timeout-ms" => limits.idle_timeout_ms = num_arg(&mut args, "--idle-timeout-ms"),
+            "--frozen-clock" => frozen = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -32,13 +92,20 @@ fn main() {
         }
     }
 
-    let mut server = Server::new();
+    sig::install();
+    let mut server = if frozen {
+        Server::frozen(limits)
+    } else {
+        Server::with_limits(limits)
+    };
     let result = match socket {
         Some(path) => serve_socket(&path, &mut server),
         None => {
-            let stdin = std::io::stdin();
-            let stdout = std::io::stdout();
-            serve(stdin.lock(), stdout.lock(), &mut server)
+            // Stdin is moved into the transport's reader thread (locking
+            // happens per read), so blocking reads never hold up the
+            // shutdown flag check.
+            let reader = BufReader::new(std::io::stdin());
+            serve_graceful(reader, std::io::stdout().lock(), &mut server, &SHUTDOWN)
         }
     };
     if let Err(e) = result {
@@ -51,38 +118,45 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-/// One request line in, one response line out, flushed per line so a
-/// scripted client can interleave reads with writes.
-fn serve(reader: impl BufRead, mut writer: impl Write, server: &mut Server) -> std::io::Result<()> {
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        writeln!(writer, "{}", server.handle_line(&line))?;
-        writer.flush()?;
+fn num_arg<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    match args.next().and_then(|v| v.parse().ok()) {
+        Some(v) => v,
+        None => die(&format!("{flag} requires a number")),
     }
-    Ok(())
 }
 
 #[cfg(unix)]
 fn serve_socket(path: &str, server: &mut Server) -> std::io::Result<()> {
     use std::os::unix::net::UnixListener;
+    use std::sync::atomic::Ordering;
 
     // A stale socket file from a previous run would make bind fail.
     let _ = std::fs::remove_file(path);
     let listener = UnixListener::bind(path)?;
+    // Nonblocking accept so SIGTERM between connections is honored
+    // within one tick rather than waiting for the next client.
+    listener.set_nonblocking(true)?;
     eprintln!("bcountd: listening on {path}");
-    for stream in listener.incoming() {
-        let stream = stream?;
-        let writer = stream.try_clone()?;
-        // A client hanging up mid-line is a normal disconnect, not a
-        // daemon failure; sessions outlive the connection.
-        if let Err(e) = serve(BufReader::new(stream), writer, server) {
-            eprintln!("bcountd: connection error: {e}");
+    loop {
+        if SHUTDOWN.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                stream.set_nonblocking(false)?;
+                let writer = stream.try_clone()?;
+                // A client hanging up mid-line is a normal disconnect,
+                // not a daemon failure; sessions outlive the connection.
+                if let Err(e) = serve_graceful(BufReader::new(stream), writer, server, &SHUTDOWN) {
+                    eprintln!("bcountd: connection error: {e}");
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+            Err(e) => return Err(e),
         }
     }
-    Ok(())
 }
 
 #[cfg(not(unix))]

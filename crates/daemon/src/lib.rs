@@ -27,8 +27,10 @@
 
 pub mod server;
 pub mod spec;
+pub mod transport;
 pub mod wire;
 
-pub use server::Server;
+pub use server::{Server, ServerLimits};
 pub use spec::{SessionInfo, SessionSpec, SpecError};
+pub use transport::{serve, serve_graceful, LineEvent, MAX_LINE_BYTES};
 pub use wire::{ErrorCode, Request, Response, WireError, SCHEMA};

@@ -10,14 +10,89 @@
 //! [`Server::handle_line`] is the whole protocol: one request line in,
 //! one response line out, errors included. Transport loops (stdin, unix
 //! socket, tests) just move lines.
+//!
+//! # Hardening
+//!
+//! The server is built to keep serving under misbehaving sessions and
+//! clients:
+//!
+//! * **Panic isolation** — protocol/adversary code runs inside
+//!   `catch_unwind` during `session.create`, `session.step`, and the
+//!   node-state half of `session.query`. A panic *poisons* that one
+//!   session: it keeps its table slot (so `session.list` shows the
+//!   failure) but answers every step/query with a structured
+//!   `session-poisoned` error until closed. Other sessions, and the
+//!   daemon itself, are untouched.
+//! * **Step timeouts** — `session.step` checks a wall-clock deadline
+//!   between rounds ([`ServerLimits::step_timeout_ms`]) and returns the
+//!   partial progress with `"timed_out": true` instead of blocking the
+//!   single-threaded serve loop forever. The rounds that did run are
+//!   byte-identical to an untimed run of the same count.
+//! * **Resource caps** — [`ServerLimits::max_sessions`] and
+//!   [`ServerLimits::max_n`] bound the table; exceeding either is a
+//!   structured `resource-limit` error, not an OOM.
+//! * **Idle eviction** — sessions untouched for
+//!   [`ServerLimits::idle_timeout_ms`] are dropped at the next request,
+//!   so abandoned clients cannot pin memory indefinitely.
+//!
+//! Time is read through an internal clock that tests (and the
+//! `--frozen-clock` flag) can pin to a manual counter, keeping golden
+//! transcripts that include `idle_ms` fields byte-stable.
 
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
 
 use bcount_json::{field, opt_field, FromJson, Json, ToJson};
 use bcount_sim::{DynExecution, ExecutionSnapshot};
 
 use crate::spec::{SessionInfo, SessionSpec};
 use crate::wire::{ErrorCode, Request, Response, WireError};
+
+/// Resource and latency bounds enforced by the [`Server`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerLimits {
+    /// Maximum live sessions; `session.create` past this is a
+    /// `resource-limit` error.
+    pub max_sessions: usize,
+    /// Maximum nodes per session; a spec requesting more is a
+    /// `resource-limit` error (before any allocation happens).
+    pub max_n: usize,
+    /// Wall-clock budget for one `session.step` request, in
+    /// milliseconds; `0` disables the deadline.
+    pub step_timeout_ms: u64,
+    /// Idle time after which a session is evicted, in milliseconds;
+    /// `0` disables eviction.
+    pub idle_timeout_ms: u64,
+}
+
+impl Default for ServerLimits {
+    fn default() -> Self {
+        ServerLimits {
+            max_sessions: 256,
+            max_n: 1 << 20,
+            step_timeout_ms: 30_000,
+            idle_timeout_ms: 900_000,
+        }
+    }
+}
+
+/// Millisecond clock: wall time in production, a manual counter under
+/// `--frozen-clock` and in tests (keeps `idle_ms` fields golden-stable).
+#[derive(Debug, Clone, Copy)]
+enum Clock {
+    Wall(Instant),
+    Manual(u64),
+}
+
+impl Clock {
+    fn now_ms(&self) -> u64 {
+        match self {
+            Clock::Wall(epoch) => epoch.elapsed().as_millis() as u64,
+            Clock::Manual(ms) => *ms,
+        }
+    }
+}
 
 /// One live session.
 struct Session {
@@ -26,19 +101,61 @@ struct Session {
     /// Snapshot taken after the last step batch (or at creation);
     /// queries are served from this cache.
     snapshot: ExecutionSnapshot,
+    /// Clock reading at the last request touching this session.
+    last_touch_ms: u64,
+    /// `Some(panic message)` once session code panicked; a poisoned
+    /// session refuses to step or answer queries until closed.
+    poisoned: Option<String>,
 }
 
-/// The daemon state: a monotonically-ided session table.
-#[derive(Default)]
+/// The daemon state: a monotonically-ided session table plus the
+/// hardening limits ([`ServerLimits`]).
 pub struct Server {
     sessions: BTreeMap<u64, Session>,
     next_id: u64,
+    limits: ServerLimits,
+    clock: Clock,
+}
+
+impl Default for Server {
+    fn default() -> Self {
+        Server::new()
+    }
 }
 
 impl Server {
-    /// An empty session table.
+    /// An empty session table with default limits and the wall clock.
     pub fn new() -> Self {
-        Server::default()
+        Server::with_limits(ServerLimits::default())
+    }
+
+    /// An empty session table with explicit limits and the wall clock.
+    pub fn with_limits(limits: ServerLimits) -> Self {
+        Server {
+            sessions: BTreeMap::new(),
+            next_id: 0,
+            limits,
+            clock: Clock::Wall(Instant::now()),
+        }
+    }
+
+    /// An empty session table whose clock only moves via
+    /// [`Server::advance_clock_ms`] — deterministic `idle_ms` and
+    /// timeouts for tests and golden transcripts.
+    pub fn frozen(limits: ServerLimits) -> Self {
+        Server {
+            sessions: BTreeMap::new(),
+            next_id: 0,
+            limits,
+            clock: Clock::Manual(0),
+        }
+    }
+
+    /// Advances a frozen clock (no-op under the wall clock).
+    pub fn advance_clock_ms(&mut self, ms: u64) {
+        if let Clock::Manual(now) = &mut self.clock {
+            *now += ms;
+        }
     }
 
     /// Number of live sessions.
@@ -48,8 +165,10 @@ impl Server {
 
     /// Handles one request line and renders the one response line (no
     /// trailing newline). Never panics on input: malformed lines become
-    /// structured `parse-error`/`bad-request` replies.
+    /// structured `parse-error`/`bad-request` replies, and panicking
+    /// session code becomes a `session-poisoned` reply.
     pub fn handle_line(&mut self, line: &str) -> String {
+        self.evict_idle();
         let json = match Json::parse(line) {
             Ok(json) => json,
             Err(e) => {
@@ -93,18 +212,63 @@ impl Server {
         }
     }
 
+    fn evict_idle(&mut self) {
+        let timeout = self.limits.idle_timeout_ms;
+        if timeout == 0 || self.sessions.is_empty() {
+            return;
+        }
+        let now = self.clock.now_ms();
+        self.sessions
+            .retain(|_, s| now.saturating_sub(s.last_touch_ms) < timeout);
+    }
+
     fn create(&mut self, params: &Json) -> Result<Json, WireError> {
+        if self.sessions.len() >= self.limits.max_sessions {
+            return Err(WireError {
+                code: ErrorCode::ResourceLimit,
+                message: format!(
+                    "session table is full ({} live, limit {})",
+                    self.sessions.len(),
+                    self.limits.max_sessions
+                ),
+            });
+        }
         let spec = SessionSpec::from_params(params).map_err(|e| WireError {
             code: ErrorCode::BadSpec,
             message: e.to_string(),
         })?;
-        let (exec, info) = spec.build().map_err(|e| WireError {
+        if spec.requested_n() > self.limits.max_n {
+            return Err(WireError {
+                code: ErrorCode::ResourceLimit,
+                message: format!(
+                    "n={} exceeds the per-session limit {}",
+                    spec.requested_n(),
+                    self.limits.max_n
+                ),
+            });
+        }
+        // Session construction runs protocol factories: isolate panics so
+        // a faulty protocol cannot take the daemon down. Nothing was
+        // inserted yet, so a create panic leaves no poisoned slot behind.
+        let built = catch_unwind(AssertUnwindSafe(|| {
+            spec.build().map(|(exec, info)| {
+                let snapshot = exec.snapshot();
+                (exec, info, snapshot)
+            })
+        }))
+        .map_err(|payload| WireError {
+            code: ErrorCode::SessionPoisoned,
+            message: format!(
+                "session creation panicked: {}",
+                panic_message(payload.as_ref())
+            ),
+        })?;
+        let (exec, info, snapshot) = built.map_err(|e| WireError {
             code: ErrorCode::BadSpec,
             message: e.to_string(),
         })?;
         self.next_id += 1;
         let id = self.next_id;
-        let snapshot = exec.snapshot();
         let result = Json::obj(vec![
             ("session", id.to_json()),
             ("spec", info.to_json()),
@@ -116,6 +280,8 @@ impl Server {
                 info,
                 exec,
                 snapshot,
+                last_touch_ms: self.clock.now_ms(),
+                poisoned: None,
             },
         );
         Ok(result)
@@ -126,17 +292,53 @@ impl Server {
         let rounds: u64 = opt_field(params, "rounds")
             .map_err(bad_request)?
             .unwrap_or(1);
+        let clock = self.clock;
+        let timeout = self.limits.step_timeout_ms;
         let session = self.session_mut(id)?;
+        session.last_touch_ms = clock.now_ms();
+        if let Some(msg) = &session.poisoned {
+            return Err(poisoned(id, msg));
+        }
         let before = session.exec.round();
-        session.exec.step_rounds(rounds);
-        // A step batch is the only thing that can move the execution, so
-        // this is the one place the query cache refreshes.
-        session.snapshot = session.exec.snapshot();
-        Ok(Json::obj(vec![
-            ("session", id.to_json()),
-            ("stepped", (session.snapshot.round - before).to_json()),
-            ("snapshot", session.snapshot.to_json()),
-        ]))
+        // Step round by round so the wall-clock deadline is checked
+        // between rounds — byte-identical to one step_rounds(rounds)
+        // call by the facade's stepping discipline. Panics inside
+        // protocol code poison this session only.
+        let started = clock.now_ms();
+        let stepped = catch_unwind(AssertUnwindSafe(|| {
+            let mut timed_out = false;
+            for _ in 0..rounds {
+                if timeout > 0 && clock.now_ms().saturating_sub(started) >= timeout {
+                    timed_out = true;
+                    break;
+                }
+                if session.exec.step_rounds(1).is_some() {
+                    break;
+                }
+            }
+            // A step batch is the only thing that can move the execution,
+            // so this is the one place the query cache refreshes.
+            (timed_out, session.exec.snapshot())
+        }));
+        match stepped {
+            Ok((timed_out, snapshot)) => {
+                session.snapshot = snapshot;
+                let mut pairs = vec![
+                    ("session", id.to_json()),
+                    ("stepped", (session.snapshot.round - before).to_json()),
+                    ("snapshot", session.snapshot.to_json()),
+                ];
+                if timed_out {
+                    pairs.push(("timed_out", true.to_json()));
+                }
+                Ok(Json::obj(pairs))
+            }
+            Err(payload) => {
+                let msg = panic_message(payload.as_ref());
+                session.poisoned = Some(msg.clone());
+                Err(poisoned(id, &msg))
+            }
+        }
     }
 
     fn query(&mut self, params: &Json) -> Result<Json, WireError> {
@@ -144,18 +346,33 @@ impl Server {
         let with_nodes: bool = opt_field(params, "nodes")
             .map_err(bad_request)?
             .unwrap_or(false);
+        let now = self.clock.now_ms();
         let session = self.session_mut(id)?;
+        session.last_touch_ms = now;
+        if let Some(msg) = &session.poisoned {
+            return Err(poisoned(id, msg));
+        }
         let mut pairs = vec![
             ("session", id.to_json()),
             ("snapshot", session.snapshot.to_json()),
         ];
         if with_nodes {
-            pairs.push(("nodes", session.exec.node_states().to_json()));
+            // node_states re-reads protocol outputs, so it can run
+            // arbitrary session code — same isolation as stepping.
+            match catch_unwind(AssertUnwindSafe(|| session.exec.node_states())) {
+                Ok(nodes) => pairs.push(("nodes", nodes.to_json())),
+                Err(payload) => {
+                    let msg = panic_message(payload.as_ref());
+                    session.poisoned = Some(msg.clone());
+                    return Err(poisoned(id, &msg));
+                }
+            }
         }
         Ok(Json::obj(pairs))
     }
 
     fn list(&self) -> Json {
+        let now = self.clock.now_ms();
         let sessions: Vec<Json> = self
             .sessions
             .iter()
@@ -163,7 +380,9 @@ impl Server {
                 Json::obj(vec![
                     ("session", id.to_json()),
                     ("spec", s.info.to_json()),
-                    ("round", s.snapshot.round.to_json()),
+                    ("rounds", s.snapshot.round.to_json()),
+                    ("idle_ms", now.saturating_sub(s.last_touch_ms).to_json()),
+                    ("poisoned", s.poisoned.is_some().to_json()),
                     ("stop", s.snapshot.stop.to_json()),
                 ])
             })
@@ -204,5 +423,24 @@ fn unknown_session(id: u64) -> WireError {
     WireError {
         code: ErrorCode::UnknownSession,
         message: format!("no session {id}"),
+    }
+}
+
+fn poisoned(id: u64, msg: &str) -> WireError {
+    WireError {
+        code: ErrorCode::SessionPoisoned,
+        message: format!("session {id} is poisoned: {msg}"),
+    }
+}
+
+/// Extracts the human-readable message from a panic payload (panics via
+/// `panic!("...")` carry `&str` or `String`; anything else is opaque).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
     }
 }

@@ -19,7 +19,9 @@ use bcount_core::local::{LocalConfig, LocalCounting};
 use bcount_graph::gen::{cycle, hnd, torus2d, watts_strogatz};
 use bcount_graph::{Graph, NodeId};
 use bcount_json::{field, opt_field, Json, ToJson};
-use bcount_sim::{DynExecution, Execution, NullAdversary, SimConfig, StopWhen};
+use bcount_sim::{
+    DynExecution, Execution, FaultPlan, NodeContext, NullAdversary, Protocol, SimConfig, StopWhen,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -136,6 +138,17 @@ pub struct SessionSpec {
     budget: u64,
     fake_value: u32,
     inflation: u64,
+    fault: Option<FaultPlan>,
+    panic_at: u64,
+}
+
+impl SessionSpec {
+    /// The node count the client asked for (pre-generation; the torus
+    /// family may round it). The server checks this against its `max_n`
+    /// cap *before* any graph memory is allocated.
+    pub fn requested_n(&self) -> usize {
+        self.n
+    }
 }
 
 /// The spec echo attached to `session.create` / `session.list` replies:
@@ -181,7 +194,9 @@ impl SessionSpec {
     /// (`silent`), `byzantine` (0), `byzantine_at` (explicit node list,
     /// overrides the spread placement), `seed` (0xC0DE), `max_rounds`
     /// (10000), `budget` (geometric-max rounds, 40), `fake_value`
-    /// (max-faker payload, 30), `inflation` (count-liar payload, 10^6).
+    /// (max-faker payload, 30), `inflation` (count-liar payload, 10^6),
+    /// `fault` (a [`FaultPlan`] object — seed, crashes, per-mille link
+    /// rates; validated here), `panic_at` (panic-probe trigger round, 1).
     pub fn from_params(params: &Json) -> Result<SessionSpec, SpecError> {
         let wire = |e: bcount_json::JsonError| SpecError(e.to_string());
         let family_label: String = opt_field(params, "family")
@@ -205,12 +220,18 @@ impl SessionSpec {
             inflation: opt_field(params, "inflation")
                 .map_err(wire)?
                 .unwrap_or(1_000_000),
+            fault: opt_field(params, "fault").map_err(wire)?,
+            panic_at: opt_field(params, "panic_at").map_err(wire)?.unwrap_or(1),
         };
         if spec.n == 0 {
             return err("n must be at least 1");
         }
         if spec.max_rounds == 0 {
             return err("max_rounds must be at least 1");
+        }
+        if let Some(plan) = &spec.fault {
+            plan.validate()
+                .map_err(|e| SpecError(format!("fault plan: {e}")))?;
         }
         Ok(spec)
     }
@@ -255,6 +276,18 @@ impl SessionSpec {
     pub fn build(&self) -> Result<(Box<dyn DynExecution>, SessionInfo), SpecError> {
         let graph = self.family.generate(self.n, self.seed)?;
         let n = graph.len();
+        if let Some(plan) = &self.fault {
+            // The engine asserts on out-of-range crash ids; check here so
+            // a bad plan is a structured bad-spec, not a panic.
+            for ev in &plan.crashes {
+                if (ev.node as usize) >= n {
+                    return err(format!(
+                        "fault plan: crash node {} out of range (n={n})",
+                        ev.node
+                    ));
+                }
+            }
+        }
         let (byz, placement) = self.place_byzantine(n)?;
         let info = SessionInfo {
             family: self.family.label(),
@@ -280,10 +313,14 @@ impl SessionSpec {
         byz: &[NodeId],
     ) -> Result<Box<dyn DynExecution>, SpecError> {
         let config = |stop_when: StopWhen| {
-            SimConfig::builder()
+            let mut builder = SimConfig::builder()
                 .seed(self.seed)
                 .max_rounds(self.max_rounds)
-                .stop_when(stop_when)
+                .stop_when(stop_when);
+            if let Some(plan) = &self.fault {
+                builder = builder.fault_plan(plan.clone());
+            }
+            builder
                 .build()
                 .expect("validated spec fields cannot contradict")
         };
@@ -383,9 +420,50 @@ impl SessionSpec {
                     _ => return pairing(),
                 })
             }
+            "panic-probe" => {
+                // Deliberately faulty protocol for exercising the
+                // daemon's panic isolation: broadcasts nothing of value
+                // and panics at the configured round. Silent-adversary
+                // only — the probe is about the serving plane, not the
+                // adversary model.
+                let panic_at = self.panic_at;
+                let cfg = config(StopWhen::AllHonestHalted);
+                let factory = move |_: NodeId, _: &bcount_sim::NodeInit| PanicProbe { panic_at };
+                let raw: fn(&()) -> f64 = |_| 0.0;
+                Ok(match self.adversary.as_str() {
+                    "silent" => Execution::new(graph, byz, factory, NullAdversary, cfg).erase(raw),
+                    _ => return pairing(),
+                })
+            }
             other => err(format!(
-                "unknown protocol '{other}' (expected congest, local, geometric-max, convergecast)"
+                "unknown protocol '{other}' (expected congest, local, geometric-max, convergecast, panic-probe)"
             )),
         }
+    }
+}
+
+/// A protocol that panics on schedule — the daemon's panic-isolation
+/// test vehicle (`protocol: "panic-probe"`, trigger round `panic_at`).
+struct PanicProbe {
+    panic_at: u64,
+}
+
+impl Protocol for PanicProbe {
+    type Message = ();
+    type Output = ();
+
+    fn on_round(&mut self, ctx: &mut NodeContext<'_, ()>) {
+        if ctx.round() >= self.panic_at {
+            panic!("panic-probe tripped at round {}", ctx.round());
+        }
+        ctx.broadcast(());
+    }
+
+    fn output(&self) -> Option<()> {
+        None
+    }
+
+    fn has_halted(&self) -> bool {
+        false
     }
 }

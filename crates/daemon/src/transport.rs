@@ -1,0 +1,233 @@
+//! Line transport for `bcountd`: capped line reading and the serve
+//! loops shared by the stdin and unix-socket paths.
+//!
+//! Two hardening duties live here rather than in [`crate::server`]:
+//!
+//! * **Line caps** — [`next_line`] never buffers more than
+//!   [`MAX_LINE_BYTES`] of one line. A client streaming an unterminated
+//!   (or simply enormous) line gets a structured `parse-error` reply and
+//!   the reader resyncs at the next newline; memory stays bounded no
+//!   matter what the peer sends.
+//! * **Graceful shutdown** — [`serve_graceful`] decouples blocking reads
+//!   from the serve loop with a reader thread, so a shutdown flag (the
+//!   binary's SIGTERM handler) is honored within one poll tick: the
+//!   in-flight request finishes, its reply is written and flushed, and
+//!   the loop returns instead of dying mid-line.
+
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::thread;
+use std::time::Duration;
+
+use crate::server::Server;
+use crate::wire::{ErrorCode, Response};
+
+/// Hard cap on one request line, in bytes (1 MiB). Far above any real
+/// `bcountd/v1` request, far below a memory-exhaustion vector.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// How often the graceful serve loop re-checks the shutdown flag while
+/// idle.
+const POLL_TICK: Duration = Duration::from_millis(25);
+
+/// One reader event: a complete line, or notice that an oversized line
+/// was discarded (already resynced past its terminating newline).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineEvent {
+    /// A complete line within the cap (without the newline).
+    Line(String),
+    /// A line longer than [`MAX_LINE_BYTES`]; payload is the discarded
+    /// length in bytes (the cap's worth of prefix was buffered, the rest
+    /// skipped).
+    Oversized(usize),
+}
+
+/// Reads the next newline-terminated line, buffering at most
+/// [`MAX_LINE_BYTES`]; `None` at clean EOF. An unterminated final line
+/// is returned as a line (matching `BufRead::lines`). Invalid UTF-8 is
+/// replaced lossily — the JSON parse downstream turns it into a
+/// structured `parse-error`.
+pub fn next_line(reader: &mut impl BufRead) -> std::io::Result<Option<LineEvent>> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut total: usize = 0;
+    let mut saw_any = false;
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            if !saw_any {
+                return Ok(None);
+            }
+            break;
+        }
+        saw_any = true;
+        let (chunk_len, consumed, done) = match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => (pos, pos + 1, true),
+            None => (available.len(), available.len(), false),
+        };
+        total += chunk_len;
+        if buf.len() < MAX_LINE_BYTES {
+            let take = chunk_len.min(MAX_LINE_BYTES - buf.len());
+            buf.extend_from_slice(&available[..take]);
+        }
+        reader.consume(consumed);
+        if done {
+            break;
+        }
+    }
+    if total > MAX_LINE_BYTES {
+        Ok(Some(LineEvent::Oversized(total)))
+    } else {
+        Ok(Some(LineEvent::Line(
+            String::from_utf8_lossy(&buf).into_owned(),
+        )))
+    }
+}
+
+/// Whether the event is a blank line (skipped without a reply, so
+/// hand-typed sessions can space requests out).
+fn is_blank(event: &LineEvent) -> bool {
+    matches!(event, LineEvent::Line(line) if line.trim().is_empty())
+}
+
+/// The one response line for a reader event.
+fn reply_for(server: &mut Server, event: LineEvent) -> String {
+    match event {
+        LineEvent::Line(line) => server.handle_line(&line),
+        LineEvent::Oversized(len) => Response::err(
+            None,
+            ErrorCode::ParseError,
+            format!("line of {len} bytes exceeds the {MAX_LINE_BYTES}-byte limit"),
+        )
+        .render_line(),
+    }
+}
+
+/// The synchronous serve loop: one reply line per request line, flushed
+/// eagerly so a line-at-a-time client never deadlocks. Returns at EOF.
+pub fn serve(
+    mut reader: impl BufRead,
+    mut writer: impl Write,
+    server: &mut Server,
+) -> std::io::Result<()> {
+    while let Some(event) = next_line(&mut reader)? {
+        if is_blank(&event) {
+            continue;
+        }
+        let reply = reply_for(server, event);
+        writeln!(writer, "{reply}")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// [`serve`] with graceful shutdown: reads happen on a helper thread so
+/// the serve loop can poll `shutdown` every [`POLL_TICK`] instead of
+/// blocking in a read. When the flag goes up, already-read lines are
+/// drained (each gets its reply, written and flushed) and the loop
+/// returns `Ok(())`; a request being handled when the signal lands
+/// always finishes and replies first, because the flag is only checked
+/// between requests.
+pub fn serve_graceful(
+    reader: impl BufRead + Send + 'static,
+    mut writer: impl Write,
+    server: &mut Server,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    let (tx, rx) = mpsc::channel::<std::io::Result<LineEvent>>();
+    // The reader thread is detached: if the loop exits while the thread
+    // is blocked in a read, its next send fails on the dropped receiver
+    // and it unwinds quietly (or the process exits first — stdin reads
+    // cannot be interrupted portably, which is why the thread exists).
+    thread::spawn(move || {
+        let mut reader = reader;
+        loop {
+            match next_line(&mut reader) {
+                Ok(Some(event)) => {
+                    if tx.send(Ok(event)).is_err() {
+                        break;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    let _ = tx.send(Err(e));
+                    break;
+                }
+            }
+        }
+    });
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            // Drain lines that were already read so their replies are
+            // not silently dropped on the floor.
+            while let Ok(Ok(event)) = rx.try_recv() {
+                if is_blank(&event) {
+                    continue;
+                }
+                let reply = reply_for(server, event);
+                writeln!(writer, "{reply}")?;
+            }
+            writer.flush()?;
+            return Ok(());
+        }
+        match rx.recv_timeout(POLL_TICK) {
+            Ok(Ok(event)) => {
+                if is_blank(&event) {
+                    continue;
+                }
+                let reply = reply_for(server, event);
+                writeln!(writer, "{reply}")?;
+                writer.flush()?;
+            }
+            Ok(Err(e)) => return Err(e),
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn next_line_splits_and_caps() {
+        let mut r = Cursor::new(b"alpha\nbeta".to_vec());
+        assert_eq!(
+            next_line(&mut r).unwrap(),
+            Some(LineEvent::Line("alpha".into()))
+        );
+        assert_eq!(
+            next_line(&mut r).unwrap(),
+            Some(LineEvent::Line("beta".into()))
+        );
+        assert_eq!(next_line(&mut r).unwrap(), None);
+
+        let big = vec![b'x'; MAX_LINE_BYTES + 7];
+        let mut input = big.clone();
+        input.push(b'\n');
+        input.extend_from_slice(b"after\n");
+        let mut r = Cursor::new(input);
+        assert_eq!(
+            next_line(&mut r).unwrap(),
+            Some(LineEvent::Oversized(MAX_LINE_BYTES + 7))
+        );
+        // Resynced: the next line parses normally.
+        assert_eq!(
+            next_line(&mut r).unwrap(),
+            Some(LineEvent::Line("after".into()))
+        );
+    }
+
+    #[test]
+    fn exactly_at_cap_is_a_line() {
+        let mut input = vec![b'y'; MAX_LINE_BYTES];
+        input.push(b'\n');
+        let mut r = Cursor::new(input);
+        match next_line(&mut r).unwrap() {
+            Some(LineEvent::Line(s)) => assert_eq!(s.len(), MAX_LINE_BYTES),
+            other => panic!("expected a line, got {other:?}"),
+        }
+    }
+}

@@ -90,6 +90,14 @@ pub enum ErrorCode {
     /// `session.create` parameters name an unsupported family, protocol,
     /// adversary, placement, or an incompatible combination.
     BadSpec,
+    /// The referenced session panicked during a step or query and is
+    /// poisoned: it keeps its slot (so the failure stays observable via
+    /// `session.list`) but refuses to step or answer queries; close it.
+    SessionPoisoned,
+    /// The request would exceed a configured resource cap (session
+    /// count, node count). Close sessions, or rerun bcountd with higher
+    /// limits.
+    ResourceLimit,
 }
 
 impl ErrorCode {
@@ -101,6 +109,8 @@ impl ErrorCode {
             ErrorCode::UnknownMethod => "unknown-method",
             ErrorCode::UnknownSession => "unknown-session",
             ErrorCode::BadSpec => "bad-spec",
+            ErrorCode::SessionPoisoned => "session-poisoned",
+            ErrorCode::ResourceLimit => "resource-limit",
         }
     }
 }
@@ -119,6 +129,8 @@ impl FromJson for ErrorCode {
             Some("unknown-method") => Ok(ErrorCode::UnknownMethod),
             Some("unknown-session") => Ok(ErrorCode::UnknownSession),
             Some("bad-spec") => Ok(ErrorCode::BadSpec),
+            Some("session-poisoned") => Ok(ErrorCode::SessionPoisoned),
+            Some("resource-limit") => Ok(ErrorCode::ResourceLimit),
             Some(other) => Err(JsonError::Shape(format!("unknown error code '{other}'"))),
             None => Err(JsonError::Shape("expected error-code string".into())),
         }

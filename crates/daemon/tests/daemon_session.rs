@@ -238,7 +238,9 @@ fn daemon_session_is_byte_identical_to_direct_execution() {
 fn committed_smoke_transcript_is_golden() {
     let input = include_str!("../../../ci/daemon_smoke.input");
     let golden = include_str!("../../../ci/daemon_smoke.golden");
-    let mut server = Server::new();
+    // Frozen clock, like the CI job's `--frozen-clock`: `idle_ms` fields
+    // in `session.list` replies must be byte-stable.
+    let mut server = Server::frozen(bcount_daemon::ServerLimits::default());
     let replies: Vec<String> = input
         .lines()
         .filter(|line| !line.trim().is_empty())
@@ -249,6 +251,6 @@ fn committed_smoke_transcript_is_golden() {
     assert_eq!(
         rendered, golden,
         "ci/daemon_smoke.golden is stale; regenerate it with \
-         `cargo run -p bcount-daemon --bin bcountd < ci/daemon_smoke.input`"
+         `cargo run -p bcount-daemon --bin bcountd -- --frozen-clock < ci/daemon_smoke.input`"
     );
 }

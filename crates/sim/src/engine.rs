@@ -137,6 +137,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use crate::adversary::{Adversary, ByzantineContext, FullInfoView};
+use crate::fault::{CrashEvent, FaultPlan};
 use crate::idspace::{assign_pids, Pid, PidIndex, SenderRanks};
 use crate::message::{DeliveryMap, Envelope, Inbox, InboxArena, InboxesView, MessageSize};
 use crate::metrics::{Metrics, NodeMetrics};
@@ -238,7 +239,7 @@ pub enum InboxLayout {
 }
 
 /// Engine configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimConfig {
     /// Master seed: determines IDs and every node's randomness stream.
     pub seed: u64,
@@ -286,6 +287,13 @@ pub struct SimConfig {
     /// byte-identical oracle — runs regardless of this flag. On by
     /// default.
     pub sparse_rounds: bool,
+    /// Deterministic fault-injection plan; see [`crate::fault::FaultPlan`].
+    /// A non-empty plan revokes the fused/arena/sparse licenses and pins
+    /// the dense flat per-node oracle pipeline (like an observing
+    /// adversary does), so faulty transcripts stay byte-identical across
+    /// the layout × merge × sharding × pool-size matrix. The empty
+    /// default is inert.
+    pub fault: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -302,6 +310,7 @@ impl Default for SimConfig {
             delivery: DeliveryMode::CountingSort,
             layout: InboxLayout::Arena,
             sparse_rounds: true,
+            fault: FaultPlan::default(),
         }
     }
 }
@@ -511,10 +520,45 @@ pub struct Simulation<G, P: Protocol, A> {
     decided_count: usize,
     /// Honest halted nodes so far; counterpart of `decided_count`.
     halted_count: usize,
+    /// Whether [`SimConfig::fault`] is non-empty — resolved once at
+    /// construction. A non-empty plan revokes the fast-path licenses
+    /// (so all fault logic lives in the flat oracle pipeline) and turns
+    /// on the crash/fault hooks in [`Simulation::step`].
+    faults_active: bool,
+    /// The dedicated fault stream ([`FaultPlan::seed`]); untouched when
+    /// the plan is empty, so no-fault transcripts are unchanged.
+    fault_rng: ChaCha8Rng,
+    /// The crash schedule, sorted by `(round, node)`; consumed through
+    /// `crash_cursor`.
+    crash_schedule: Vec<CrashEvent>,
+    crash_cursor: usize,
+    /// Crash-stop indicator per node: a crashed node neither computes
+    /// nor sends from its crash round on (but keeps receiving — its
+    /// inbox just goes unread) and leaves the stop-condition census.
+    crashed: Vec<bool>,
+    /// Delayed messages awaiting redelivery, in due-round order (the
+    /// constant per-plan delay makes push order due-order).
+    delayed: std::collections::VecDeque<Delayed<P::Message>>,
+    /// Scratch for the fault phase's filtered rebuild of
+    /// `honest_outgoing` (swapped, never reallocated in steady state).
+    fault_scratch: Vec<(NodeId, NodeId, P::Message)>,
+    /// Rank scratch aligned with `fault_scratch`.
+    fault_scratch_ranks: Vec<u32>,
     decided_round: Vec<Option<u64>>,
     halted: Vec<bool>,
     metrics: Metrics,
     round: u64,
+}
+
+/// A delayed message in the pending-redelivery queue: the round it
+/// becomes deliverable, plus the routed message exactly as the merge
+/// produced it.
+struct Delayed<M> {
+    due: u64,
+    from: NodeId,
+    to: NodeId,
+    rank: u32,
+    msg: M,
 }
 
 /// A message routed to its destination shard: dense sender node id (the
@@ -603,14 +647,31 @@ where
             1
         };
         let sender_counts = vec![0; sender_ranks.total()];
+        // The fault plane exists only in the flat oracle pipeline, so a
+        // non-empty plan revokes the fast-path licenses below — which is
+        // precisely what makes faulty transcripts byte-identical across
+        // the whole layout/merge/sharding/pool matrix.
+        let faults_active = !config.fault.is_empty();
+        let mut crash_schedule = config.fault.crashes.clone();
+        crash_schedule.sort_unstable_by_key(|ev| (ev.round, ev.node));
+        for ev in &crash_schedule {
+            assert!(
+                (ev.node as usize) < n,
+                "crash event node {} out of range",
+                ev.node
+            );
+        }
+        let fault_rng = ChaCha8Rng::seed_from_u64(config.fault.seed);
         // Fusion is licensed by the adversary (it gives up the flat
         // honest-traffic view) and only implemented for the counting sort;
-        // observation or the reference oracle force the flat pipeline. The
-        // arena layout rides on the same license (it, too, never
-        // materializes the flat vector) and subsumes the fused scatter.
+        // observation, the reference oracle, or an active fault plan force
+        // the flat pipeline. The arena layout rides on the same license
+        // (it, too, never materializes the flat vector) and subsumes the
+        // fused scatter.
         let licensed = config.fused_merge
             && config.delivery == DeliveryMode::CountingSort
-            && !adversary.observes_traffic();
+            && !adversary.observes_traffic()
+            && !faults_active;
         let arena_active = licensed && config.layout == InboxLayout::Arena;
         let fused = licensed && !arena_active;
         let pid_order: Vec<u32> = pid_index.nodes_by_pid().map(|node| node.0).collect();
@@ -818,6 +879,14 @@ where
             honest_total,
             decided_count: 0,
             halted_count: 0,
+            faults_active,
+            fault_rng,
+            crash_schedule,
+            crash_cursor: 0,
+            crashed: vec![false; n],
+            delayed: std::collections::VecDeque::new(),
+            fault_scratch: Vec::new(),
+            fault_scratch_ranks: Vec::new(),
             decided_round: vec![None; n],
             halted: vec![false; n],
             metrics: Metrics::new(n),
@@ -852,6 +921,11 @@ where
         &self.is_byzantine
     }
 
+    /// Per-node crash-stop indicator (all `false` without a fault plan).
+    pub(crate) fn crashed_flags(&self) -> &[bool] {
+        &self.crashed
+    }
+
     /// The protocol instance of an honest, in-flight node.
     pub fn protocol(&self, u: NodeId) -> Option<&P> {
         self.protocols.get(u.index()).and_then(|p| p.as_ref())
@@ -859,13 +933,124 @@ where
 
     /// Executes one synchronous round: honest compute, deterministic
     /// merge (flat, or fused straight into delivery staging), rushing
-    /// adversary phase, delivery.
+    /// adversary phase, delivery. With a non-empty [`SimConfig::fault`]
+    /// plan, scheduled crashes are applied at round start, and the
+    /// link-fault pass (drop/duplicate/delay) rewrites the merged honest
+    /// traffic before the rushing adversary observes it.
     pub fn step(&mut self) {
         self.round += 1;
+        if self.faults_active {
+            self.apply_crashes();
+        }
         self.honest_phase();
         self.merge_phase();
+        if self.faults_active {
+            self.fault_phase();
+        }
         self.adversary_phase();
+        if self.faults_active {
+            self.silence_crashed_byzantine();
+        }
         self.deliver();
+    }
+
+    /// Applies every crash event scheduled at or before the current
+    /// round. Idempotent per node; each first-time crash is counted in
+    /// [`Metrics::crashed`].
+    fn apply_crashes(&mut self) {
+        while let Some(ev) = self.crash_schedule.get(self.crash_cursor) {
+            if ev.round > self.round {
+                break;
+            }
+            let u = ev.node as usize;
+            if !self.crashed[u] {
+                self.crashed[u] = true;
+                self.metrics.crashed += 1;
+            }
+            self.crash_cursor += 1;
+        }
+    }
+
+    /// The link-fault pass: one dedicated-stream draw per merged honest
+    /// message decides drop / duplicate / delay / pass (partitioned in
+    /// that order over `[0, 1000)`), then every delayed message that has
+    /// come due is appended after the fresh traffic. Runs on the flat
+    /// pipeline only (a non-empty plan revokes the fused/arena
+    /// licenses), after the merge fixed the canonical order and before
+    /// the rushing adversary observes the traffic — the adversary sees
+    /// what the faulty links actually carry. Redelivered messages are
+    /// never re-faulted. Crash-only plans (all rates zero) make no RNG
+    /// draws at all.
+    fn fault_phase(&mut self) {
+        let plan = &self.config.fault;
+        let drop_below = u32::from(plan.drop_per_mille);
+        let dup_below = drop_below + u32::from(plan.dup_per_mille);
+        let delay_below = dup_below + u32::from(plan.delay_per_mille);
+        let delay_rounds = plan.delay_rounds.max(1);
+        if delay_below > 0 {
+            debug_assert!(self.fault_scratch.is_empty());
+            debug_assert!(self.fault_scratch_ranks.is_empty());
+            let rng = &mut self.fault_rng;
+            let due = self.round + delay_rounds;
+            for ((from, to, msg), rank) in self
+                .honest_outgoing
+                .drain(..)
+                .zip(self.honest_ranks.drain(..))
+            {
+                let roll: u32 = rng.gen_range(0..1000);
+                if roll < drop_below {
+                    self.metrics.dropped += 1;
+                } else if roll < dup_below {
+                    self.metrics.duplicated += 1;
+                    self.fault_scratch.push((from, to, msg.clone()));
+                    self.fault_scratch_ranks.push(rank);
+                    self.fault_scratch.push((from, to, msg));
+                    self.fault_scratch_ranks.push(rank);
+                } else if roll < delay_below {
+                    self.metrics.delayed += 1;
+                    self.delayed.push_back(Delayed {
+                        due,
+                        from,
+                        to,
+                        rank,
+                        msg,
+                    });
+                } else {
+                    self.fault_scratch.push((from, to, msg));
+                    self.fault_scratch_ranks.push(rank);
+                }
+            }
+            std::mem::swap(&mut self.honest_outgoing, &mut self.fault_scratch);
+            std::mem::swap(&mut self.honest_ranks, &mut self.fault_scratch_ranks);
+        }
+        // Redelivery: everything due this round, in the order it was
+        // withheld, appended after the fresh traffic (the stable
+        // counting sort puts each message after same-sender fresh ones
+        // — deterministic, and in-flight messages survive a sender's
+        // subsequent crash, as crash-stop semantics require).
+        while let Some(d) = self.delayed.front() {
+            if d.due > self.round {
+                break;
+            }
+            let d = self.delayed.pop_front().expect("front checked");
+            self.honest_outgoing.push((d.from, d.to, d.msg));
+            self.honest_ranks.push(d.rank);
+        }
+        self.round_honest_messages = self.honest_outgoing.len() as u64;
+    }
+
+    /// Drops the adversary's traffic sent from crashed Byzantine nodes:
+    /// crash-stop outranks Byzantine behaviour, so a crashed node is
+    /// silent no matter who controls it. Runs after the adversary phase
+    /// (the adversary cannot observe its way around a crash) and before
+    /// delivery accounts the Byzantine senders.
+    fn silence_crashed_byzantine(&mut self) {
+        if self.crash_cursor == 0 || self.byz_outgoing.is_empty() {
+            return;
+        }
+        let crashed = &self.crashed;
+        self.byz_outgoing
+            .retain(|(from, _, _)| !crashed[from.index()]);
     }
 
     /// Dispatches the deterministic merge: the arena count pass (or shard
@@ -958,7 +1143,7 @@ where
             InboxesView::PerNode(&self.inboxes)
         };
         for u in 0..self.graph().len() {
-            if self.is_byzantine[u] || self.halted[u] {
+            if self.is_byzantine[u] || self.halted[u] || self.crashed[u] {
                 continue;
             }
             let proto = self.protocols[u].as_mut().expect("honest protocol present");
@@ -993,6 +1178,7 @@ where
                 InboxesView::PerNode(&self.inboxes)
             },
             is_byzantine: &self.is_byzantine,
+            crashed: &self.crashed,
         };
         let lane = PhaseLane {
             base: 0,
@@ -2001,10 +2187,14 @@ where
             } else {
                 (
                     (0..n)
-                        .filter(|&u| !self.is_byzantine[u] && self.decided_round[u].is_some())
+                        .filter(|&u| {
+                            !self.is_byzantine[u]
+                                && !self.crashed[u]
+                                && self.decided_round[u].is_some()
+                        })
                         .count(),
                     (0..n)
-                        .filter(|&u| !self.is_byzantine[u] && self.halted[u])
+                        .filter(|&u| !self.is_byzantine[u] && !self.crashed[u] && self.halted[u])
                         .count(),
                 )
             };
@@ -2380,12 +2570,15 @@ where
     /// the maintained counters answer in O(1), and the dense scans
     /// short-circuit at the first still-running node.
     pub(crate) fn stop_reason(&self) -> Option<StopReason> {
+        // Crashed nodes leave the census: the stop condition is about
+        // the *surviving* honest nodes (the sparse counters never
+        // coexist with faults — a non-empty plan revokes that license).
         let all_halted = || {
             if self.sparse_active {
                 self.halted_count == self.honest_total
             } else {
                 (0..self.graph().len())
-                    .filter(|&u| !self.is_byzantine[u])
+                    .filter(|&u| !self.is_byzantine[u] && !self.crashed[u])
                     .all(|u| self.halted[u])
             }
         };
@@ -2394,7 +2587,7 @@ where
                 self.decided_count == self.honest_total
             } else {
                 (0..self.graph().len())
-                    .filter(|&u| !self.is_byzantine[u])
+                    .filter(|&u| !self.is_byzantine[u] && !self.crashed[u])
                     .all(|u| self.decided_round[u].is_some())
             }
         };
@@ -3285,6 +3478,7 @@ struct PhaseInputs<'a, P: Protocol> {
     neighbor_pids: &'a [Vec<Pid>],
     inboxes: InboxesView<'a, P::Message>,
     is_byzantine: &'a [bool],
+    crashed: &'a [bool],
 }
 
 #[cfg(feature = "parallel")]
@@ -3370,7 +3564,7 @@ where
 {
     for i in 0..lane.protocols.len() {
         let u = lane.base + i;
-        if shared.is_byzantine[u] || lane.halted[i] {
+        if shared.is_byzantine[u] || shared.crashed[u] || lane.halted[i] {
             continue;
         }
         let proto = lane.protocols[i].as_mut().expect("honest protocol present");

@@ -33,6 +33,7 @@ use crate::engine::{
     DeliveryMode, InboxLayout, NodeInit, PhaseSend, PhaseShared, SimConfig, SimReport, Simulation,
     StopReason, StopWhen,
 };
+use crate::fault::FaultPlan;
 use crate::message::Inbox;
 use crate::metrics::Metrics;
 use crate::protocol::Protocol;
@@ -64,6 +65,17 @@ pub enum ConfigError {
     /// identity, and zero-width IDs make message-size accounting
     /// meaningless.
     BadIdBits,
+    /// A [`crate::fault::FaultPlan`] whose drop + duplicate + delay rates
+    /// sum past 1000 per-mille: the per-message draw partition cannot
+    /// hold more than the whole interval.
+    FaultRatesExceedUnity,
+    /// A fault plan with a non-zero delay rate but `delay_rounds == 0`:
+    /// a zero-round delay would be a pass, silently.
+    ZeroDelayRounds,
+    /// A fault plan scheduling a crash at round 0: rounds are 1-based, so
+    /// no node can crash before the first round (use round 1 for "never
+    /// participated").
+    CrashBeforeFirstRound,
 }
 
 impl fmt::Display for ConfigError {
@@ -80,6 +92,21 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroMaxRounds => write!(f, "max_rounds must be at least 1"),
             ConfigError::BadIdBits => write!(f, "id_bits must be in 1..=64"),
+            ConfigError::FaultRatesExceedUnity => {
+                write!(f, "fault drop+dup+delay rates must sum to at most 1000")
+            }
+            ConfigError::ZeroDelayRounds => {
+                write!(
+                    f,
+                    "fault delay_rounds must be at least 1 when delay rate is non-zero"
+                )
+            }
+            ConfigError::CrashBeforeFirstRound => {
+                write!(
+                    f,
+                    "fault crash rounds are 1-based; round 0 is before the execution"
+                )
+            }
         }
     }
 }
@@ -115,7 +142,7 @@ impl std::error::Error for ConfigError {}
 ///     .unwrap_err();
 /// assert_eq!(err, ConfigError::ArenaNeedsCountingSort);
 /// ```
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SimConfigBuilder {
     seed: Option<u64>,
     max_rounds: Option<u64>,
@@ -128,6 +155,7 @@ pub struct SimConfigBuilder {
     delivery: Option<DeliveryMode>,
     layout: Option<InboxLayout>,
     sparse_rounds: Option<bool>,
+    fault: Option<FaultPlan>,
 }
 
 impl SimConfigBuilder {
@@ -203,6 +231,16 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Fault-injection plan, validated by [`SimConfigBuilder::build`];
+    /// see [`SimConfig::fault`]. A non-empty plan pins the flat per-node
+    /// pipeline (this is a documented silent fallback, not a
+    /// contradiction — any explicit layout/merge choices keep meaning
+    /// "use this mode whenever a round has no faults to model").
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
     /// Validates the explicitly-set options against each other and
     /// produces the config (unset options keep their defaults).
     pub fn build(self) -> Result<SimConfig, ConfigError> {
@@ -225,6 +263,9 @@ impl SimConfigBuilder {
         if self.sparse_rounds == Some(true) && self.sharded_merge == Some(true) {
             return Err(ConfigError::SparseNeedsUnsharded);
         }
+        if let Some(plan) = &self.fault {
+            plan.validate()?;
+        }
         let d = SimConfig::default();
         Ok(SimConfig {
             seed: self.seed.unwrap_or(d.seed),
@@ -238,6 +279,7 @@ impl SimConfigBuilder {
             delivery: self.delivery.unwrap_or(d.delivery),
             layout: self.layout.unwrap_or(d.layout),
             sparse_rounds: self.sparse_rounds.unwrap_or(d.sparse_rounds),
+            fault: self.fault.unwrap_or(d.fault),
         })
     }
 }
@@ -370,13 +412,16 @@ where
         let n = self.sim.graph().len();
         let byz = self.sim.byzantine_flags();
         let halted = self.sim.halted_flags();
+        let crashed = self.sim.crashed_flags();
         let decided_rounds = self.sim.decided_rounds();
         let byzantine = byz.iter().filter(|b| **b).count();
         let mut decided = 0usize;
         let mut halted_count = 0usize;
         let mut estimates: Vec<f64> = Vec::new();
         for u in 0..n {
-            if byz[u] {
+            // Crashed nodes leave the census, matching the engine's stop
+            // condition: a crash-stopped node will never decide or halt.
+            if byz[u] || crashed[u] {
                 continue;
             }
             if halted[u] {
@@ -402,6 +447,10 @@ where
             estimate: EstimateSummary::from_values(&mut estimates),
             messages_total: metrics.total_messages(honest_nodes()),
             bits_total: metrics.total_bits(honest_nodes()),
+            dropped: metrics.dropped,
+            duplicated: metrics.duplicated,
+            delayed: metrics.delayed,
+            crashed: metrics.crashed,
         }
     }
 
@@ -467,6 +516,14 @@ pub struct ExecutionSnapshot {
     pub messages_total: u64,
     /// Bits sent so far under the configured ID-width model.
     pub bits_total: u64,
+    /// Honest messages dropped by the fault plane so far.
+    pub dropped: u64,
+    /// Honest messages duplicated by the fault plane so far.
+    pub duplicated: u64,
+    /// Honest messages withheld for delayed redelivery so far.
+    pub delayed: u64,
+    /// Nodes crash-stopped so far.
+    pub crashed: u64,
 }
 
 /// Distribution summary of decided nodes' raw estimates. Min/max/mean/
@@ -740,6 +797,35 @@ mod tests {
             (SimConfig::builder().max_rounds(0).build(), ZeroMaxRounds),
             (SimConfig::builder().id_bits(0).build(), BadIdBits),
             (SimConfig::builder().id_bits(65).build(), BadIdBits),
+            (
+                SimConfig::builder()
+                    .fault_plan(FaultPlan {
+                        drop_per_mille: 700,
+                        dup_per_mille: 400,
+                        ..FaultPlan::default()
+                    })
+                    .build(),
+                FaultRatesExceedUnity,
+            ),
+            (
+                SimConfig::builder()
+                    .fault_plan(FaultPlan {
+                        delay_per_mille: 5,
+                        delay_rounds: 0,
+                        ..FaultPlan::default()
+                    })
+                    .build(),
+                ZeroDelayRounds,
+            ),
+            (
+                SimConfig::builder()
+                    .fault_plan(FaultPlan {
+                        crashes: vec![crate::fault::CrashEvent { round: 0, node: 2 }],
+                        ..FaultPlan::default()
+                    })
+                    .build(),
+                CrashBeforeFirstRound,
+            ),
         ];
         for (got, want) in cases {
             assert_eq!(got.unwrap_err(), want);

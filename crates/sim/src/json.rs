@@ -14,10 +14,11 @@
 //! Field names are part of the artifact schema documented in the README;
 //! renaming one is a schema version bump.
 
-use bcount_json::{field, FromJson, Json, JsonError, ToJson};
+use bcount_json::{field, opt_field, FromJson, Json, JsonError, ToJson};
 
 use crate::engine::{SimReport, StopReason};
 use crate::execution::{EstimateSummary, ExecutionSnapshot, NodeState};
+use crate::fault::{CrashEvent, FaultPlan};
 use crate::idspace::Pid;
 use crate::metrics::{Metrics, NodeMetrics};
 use crate::trace::RoundTrace;
@@ -110,17 +111,75 @@ impl ToJson for Metrics {
             ("rounds", self.rounds.to_json()),
             ("messages_per_round", self.messages_per_round.to_json()),
             ("round_trace", self.round_trace.to_json()),
+            ("dropped", self.dropped.to_json()),
+            ("duplicated", self.duplicated.to_json()),
+            ("delayed", self.delayed.to_json()),
+            ("crashed", self.crashed.to_json()),
         ])
     }
 }
 
 impl FromJson for Metrics {
     fn from_json(json: &Json) -> Result<Self, JsonError> {
+        // The fault counters default to zero so artifacts written before
+        // the fault plane existed keep reading.
         Ok(Metrics {
             per_node: field(json, "per_node")?,
             rounds: field(json, "rounds")?,
             messages_per_round: field(json, "messages_per_round")?,
             round_trace: field(json, "round_trace")?,
+            dropped: opt_field(json, "dropped")?.unwrap_or(0),
+            duplicated: opt_field(json, "duplicated")?.unwrap_or(0),
+            delayed: opt_field(json, "delayed")?.unwrap_or(0),
+            crashed: opt_field(json, "crashed")?.unwrap_or(0),
+        })
+    }
+}
+
+impl ToJson for CrashEvent {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("round", self.round.to_json()),
+            ("node", self.node.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CrashEvent {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(CrashEvent {
+            round: field(json, "round")?,
+            node: field(json, "node")?,
+        })
+    }
+}
+
+impl ToJson for FaultPlan {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("seed", self.seed.to_json()),
+            ("crashes", self.crashes.to_json()),
+            ("drop_per_mille", self.drop_per_mille.to_json()),
+            ("dup_per_mille", self.dup_per_mille.to_json()),
+            ("delay_per_mille", self.delay_per_mille.to_json()),
+            ("delay_rounds", self.delay_rounds.to_json()),
+        ])
+    }
+}
+
+impl FromJson for FaultPlan {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        // Every field is optional on the wire — a partial plan object
+        // fills in the inert defaults, so clients write only the faults
+        // they mean to inject.
+        let d = FaultPlan::default();
+        Ok(FaultPlan {
+            seed: opt_field(json, "seed")?.unwrap_or(d.seed),
+            crashes: opt_field(json, "crashes")?.unwrap_or_default(),
+            drop_per_mille: opt_field(json, "drop_per_mille")?.unwrap_or(0),
+            dup_per_mille: opt_field(json, "dup_per_mille")?.unwrap_or(0),
+            delay_per_mille: opt_field(json, "delay_per_mille")?.unwrap_or(0),
+            delay_rounds: opt_field(json, "delay_rounds")?.unwrap_or(d.delay_rounds),
         })
     }
 }
@@ -192,6 +251,10 @@ impl ToJson for ExecutionSnapshot {
             ("estimate", self.estimate.to_json()),
             ("messages_total", self.messages_total.to_json()),
             ("bits_total", self.bits_total.to_json()),
+            ("dropped", self.dropped.to_json()),
+            ("duplicated", self.duplicated.to_json()),
+            ("delayed", self.delayed.to_json()),
+            ("crashed", self.crashed.to_json()),
         ])
     }
 }
@@ -209,6 +272,10 @@ impl FromJson for ExecutionSnapshot {
             estimate: field(json, "estimate")?,
             messages_total: field(json, "messages_total")?,
             bits_total: field(json, "bits_total")?,
+            dropped: opt_field(json, "dropped")?.unwrap_or(0),
+            duplicated: opt_field(json, "duplicated")?.unwrap_or(0),
+            delayed: opt_field(json, "delayed")?.unwrap_or(0),
+            crashed: opt_field(json, "crashed")?.unwrap_or(0),
         })
     }
 }

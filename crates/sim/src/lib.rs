@@ -66,6 +66,7 @@
 pub mod adversary;
 pub mod engine;
 pub mod execution;
+pub mod fault;
 pub mod idspace;
 pub mod json;
 pub mod message;
@@ -84,6 +85,7 @@ pub use execution::{
     ConfigError, DynExecution, EstimateSummary, Execution, ExecutionSnapshot, NodeState,
     SimConfigBuilder,
 };
+pub use fault::{CrashEvent, FaultPlan};
 pub use idspace::{Pid, PidIndex, SenderRanks};
 pub use message::{DeliveryMap, Envelope, EnvelopeRef, Inbox, InboxIter, MessageSize, SlotTarget};
 pub use metrics::{Metrics, NodeMetrics};
@@ -102,6 +104,7 @@ pub mod prelude {
         ConfigError, DynExecution, EstimateSummary, Execution, ExecutionSnapshot, NodeState,
         SimConfigBuilder,
     };
+    pub use crate::fault::{CrashEvent, FaultPlan};
     pub use crate::idspace::{Pid, PidIndex, SenderRanks};
     pub use crate::message::{
         DeliveryMap, Envelope, EnvelopeRef, Inbox, InboxIter, MessageSize, SlotTarget,

@@ -51,6 +51,17 @@ pub struct Metrics {
     /// Full per-round trace (only populated when
     /// [`crate::SimConfig::record_round_stats`] is set).
     pub round_trace: Vec<crate::trace::RoundTrace>,
+    /// Honest messages dropped by the fault plane
+    /// ([`crate::fault::FaultPlan::drop_per_mille`]).
+    pub dropped: u64,
+    /// Honest messages duplicated by the fault plane (each counted
+    /// once; the duplicate itself is an extra delivery, not a send —
+    /// per-node send metrics record the attempt at merge time).
+    pub duplicated: u64,
+    /// Honest messages withheld for delayed redelivery.
+    pub delayed: u64,
+    /// Crash-stop events applied (distinct nodes crashed so far).
+    pub crashed: u64,
 }
 
 impl Metrics {
@@ -60,6 +71,10 @@ impl Metrics {
             rounds: 0,
             messages_per_round: Vec::new(),
             round_trace: Vec::new(),
+            dropped: 0,
+            duplicated: 0,
+            delayed: 0,
+            crashed: 0,
         }
     }
 

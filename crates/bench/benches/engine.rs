@@ -498,6 +498,56 @@ fn bench_daemon(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("queries_only", n), &n, |b, _| {
         b.iter(|| server.handle_line(query_line).len());
     });
+
+    // `recovery` — replay rounds/sec: price of rebuilding sessions from
+    // a `--state-dir` journal at startup vs executing them live
+    // (`rounds_only` is the live denominator). One iteration = one full
+    // `Server::open_durable` over a journal holding a create plus 50
+    // one-round steps of the same n = 4096 beacon-spam cell, fsync off
+    // (replay cost, not disk cost). Throughput counts the 50 replayed
+    // rounds.
+    {
+        use bcount_daemon::server::DurabilityOptions;
+        use bcount_daemon::FsyncPolicy;
+
+        let state_dir =
+            std::env::temp_dir().join(format!("bcountd-bench-recovery-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&state_dir);
+        let opts = DurabilityOptions {
+            state_dir: state_dir.clone(),
+            fsync: FsyncPolicy::Off,
+            checkpoint_every: u64::MAX,
+        };
+        let replay_rounds = 50u64;
+        let mut seeded = Server::open_durable(&opts, Default::default(), false)
+            .expect("bench state dir must open");
+        let created = seeded.handle_line(&format!(
+            r#"{{"id":1,"method":"session.create","params":{{"n":{n},"protocol":"congest","adversary":"beacon-spam","byzantine":64,"seed":42,"max_rounds":{}}}}}"#,
+            u64::MAX
+        ));
+        assert!(
+            created.contains("\"result\""),
+            "bench recovery create failed: {created}"
+        );
+        for _ in 0..replay_rounds {
+            seeded.handle_line(
+                r#"{"id":2,"method":"session.step","params":{"session":1,"rounds":1}}"#,
+            );
+        }
+        drop(seeded);
+
+        group.throughput(Throughput::Elements(replay_rounds));
+        group.bench_with_input(BenchmarkId::new("recovery", n), &n, |b, _| {
+            b.iter(|| {
+                let server = Server::open_durable(&opts, Default::default(), false)
+                    .expect("recovery must succeed");
+                let stats = *server.recovery_stats().expect("durable server has stats");
+                assert_eq!(stats.replayed_rounds, replay_rounds);
+                stats.replayed_rounds
+            });
+        });
+        let _ = std::fs::remove_dir_all(&state_dir);
+    }
     group.finish();
 }
 

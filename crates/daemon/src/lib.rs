@@ -25,12 +25,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod journal;
 pub mod server;
 pub mod spec;
 pub mod transport;
 pub mod wire;
 
-pub use server::{Server, ServerLimits};
+pub use journal::{FsyncPolicy, Journal, RecoveryStats};
+pub use server::{DurabilityOptions, Server, ServerLimits};
 pub use spec::{SessionInfo, SessionSpec, SpecError};
-pub use transport::{serve, serve_graceful, LineEvent, MAX_LINE_BYTES};
+pub use transport::{serve, serve_graceful, LineEvent, Shutdown, MAX_LINE_BYTES};
 pub use wire::{ErrorCode, Request, Response, WireError, SCHEMA};

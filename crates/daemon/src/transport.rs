@@ -9,16 +9,18 @@
 //!   the reader resyncs at the next newline; memory stays bounded no
 //!   matter what the peer sends.
 //! * **Graceful shutdown** — [`serve_graceful`] decouples blocking reads
-//!   from the serve loop with a reader thread, so a shutdown flag (the
-//!   binary's SIGTERM handler) is honored within one poll tick: the
-//!   in-flight request finishes, its reply is written and flushed, and
-//!   the loop returns instead of dying mid-line.
+//!   from the serve loop with a reader thread and blocks on a single
+//!   event channel merging reader I/O with [`Shutdown`] wakes. A
+//!   shutdown request interrupts the wait *immediately* (no poll tick):
+//!   the in-flight request finishes, already-read lines are drained and
+//!   replied to, everything is flushed, and the loop returns instead of
+//!   dying mid-line.
 
 use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::mpsc::{self, Sender};
+use std::sync::Mutex;
 use std::thread;
-use std::time::Duration;
 
 use crate::server::Server;
 use crate::wire::{ErrorCode, Response};
@@ -27,9 +29,66 @@ use crate::wire::{ErrorCode, Response};
 /// `bcountd/v1` request, far below a memory-exhaustion vector.
 pub const MAX_LINE_BYTES: usize = 1 << 20;
 
-/// How often the graceful serve loop re-checks the shutdown flag while
-/// idle.
-const POLL_TICK: Duration = Duration::from_millis(25);
+/// One event pumped into a serve loop: reader I/O, a shutdown wake, or
+/// end of input.
+pub(crate) enum Pump {
+    /// A reader event (or the read error that ended the reader).
+    Io(std::io::Result<LineEvent>),
+    /// [`Shutdown::request`] fired; re-check the flag.
+    Wake,
+    /// Clean EOF on the reader.
+    Eof,
+}
+
+/// An event-driven shutdown signal: an atomic flag plus a registry of
+/// serve-loop wakers, so [`Shutdown::request`] interrupts a blocked
+/// serve loop immediately instead of waiting out a poll tick.
+///
+/// `request()` takes a lock and sends on channels, so it is **not**
+/// async-signal-safe — a signal handler must defer to a normal thread
+/// (the `bcountd` binary uses a self-pipe: the handler writes one byte,
+/// a watcher thread reads it and calls `request()`).
+pub struct Shutdown {
+    flag: AtomicBool,
+    wakers: Mutex<Vec<Sender<Pump>>>,
+}
+
+impl Shutdown {
+    /// A shutdown signal in the "not requested" state. `const`, so it
+    /// can back a `static`.
+    pub const fn new() -> Self {
+        Shutdown {
+            flag: AtomicBool::new(false),
+            wakers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Requests shutdown: raises the flag and wakes every registered
+    /// serve loop. Idempotent; dead wakers (loops that already
+    /// returned) are purged as a side effect.
+    pub fn request(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        let mut wakers = self.wakers.lock().unwrap_or_else(|e| e.into_inner());
+        wakers.retain(|w| w.send(Pump::Wake).is_ok());
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_requested(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+
+    /// Registers a serve loop's event channel for wake-ups.
+    fn register(&self, waker: Sender<Pump>) {
+        let mut wakers = self.wakers.lock().unwrap_or_else(|e| e.into_inner());
+        wakers.push(waker);
+    }
+}
+
+impl Default for Shutdown {
+    fn default() -> Self {
+        Shutdown::new()
+    }
+}
 
 /// One reader event: a complete line, or notice that an oversized line
 /// was discarded (already resynced past its terminating newline).
@@ -121,20 +180,26 @@ pub fn serve(
     Ok(())
 }
 
-/// [`serve`] with graceful shutdown: reads happen on a helper thread so
-/// the serve loop can poll `shutdown` every [`POLL_TICK`] instead of
-/// blocking in a read. When the flag goes up, already-read lines are
-/// drained (each gets its reply, written and flushed) and the loop
-/// returns `Ok(())`; a request being handled when the signal lands
-/// always finishes and replies first, because the flag is only checked
-/// between requests.
+/// [`serve`] with graceful shutdown: reads happen on a helper thread
+/// that pumps [`Pump::Io`] events into a channel; [`Shutdown::request`]
+/// pumps a [`Pump::Wake`] into the same channel, so the loop blocks on
+/// one `recv()` and reacts to whichever arrives first — no poll tick,
+/// no shutdown latency. On shutdown, already-read lines are drained
+/// (each gets its reply, written and flushed) and the loop returns
+/// `Ok(())`; a request being handled when the signal lands always
+/// finishes and replies first, because events are handled one at a
+/// time.
 pub fn serve_graceful(
     reader: impl BufRead + Send + 'static,
     mut writer: impl Write,
     server: &mut Server,
-    shutdown: &AtomicBool,
+    shutdown: &Shutdown,
 ) -> std::io::Result<()> {
-    let (tx, rx) = mpsc::channel::<std::io::Result<LineEvent>>();
+    let (tx, rx) = mpsc::channel::<Pump>();
+    // The registry keeps a sender alive for the rest of this Shutdown's
+    // life, so Disconnected can never signal EOF — the reader thread
+    // sends an explicit Pump::Eof instead.
+    shutdown.register(tx.clone());
     // The reader thread is detached: if the loop exits while the thread
     // is blocked in a read, its next send fails on the dropped receiver
     // and it unwinds quietly (or the process exits first — stdin reads
@@ -144,34 +209,45 @@ pub fn serve_graceful(
         loop {
             match next_line(&mut reader) {
                 Ok(Some(event)) => {
-                    if tx.send(Ok(event)).is_err() {
-                        break;
+                    if tx.send(Pump::Io(Ok(event))).is_err() {
+                        return;
                     }
                 }
-                Ok(None) => break,
+                Ok(None) => {
+                    let _ = tx.send(Pump::Eof);
+                    return;
+                }
                 Err(e) => {
-                    let _ = tx.send(Err(e));
-                    break;
+                    let _ = tx.send(Pump::Io(Err(e)));
+                    return;
                 }
             }
         }
     });
     loop {
-        if shutdown.load(Ordering::SeqCst) {
+        // Checked at the top of every iteration: a wake (or a flag
+        // raised before this loop even started) lands here.
+        if shutdown.is_requested() {
             // Drain lines that were already read so their replies are
             // not silently dropped on the floor.
-            while let Ok(Ok(event)) = rx.try_recv() {
-                if is_blank(&event) {
-                    continue;
+            loop {
+                match rx.try_recv() {
+                    Ok(Pump::Io(Ok(event))) => {
+                        if is_blank(&event) {
+                            continue;
+                        }
+                        let reply = reply_for(server, event);
+                        writeln!(writer, "{reply}")?;
+                    }
+                    Ok(Pump::Wake) => continue,
+                    Ok(Pump::Io(Err(_))) | Ok(Pump::Eof) | Err(_) => break,
                 }
-                let reply = reply_for(server, event);
-                writeln!(writer, "{reply}")?;
             }
             writer.flush()?;
             return Ok(());
         }
-        match rx.recv_timeout(POLL_TICK) {
-            Ok(Ok(event)) => {
+        match rx.recv() {
+            Ok(Pump::Io(Ok(event))) => {
                 if is_blank(&event) {
                     continue;
                 }
@@ -179,9 +255,9 @@ pub fn serve_graceful(
                 writeln!(writer, "{reply}")?;
                 writer.flush()?;
             }
-            Ok(Err(e)) => return Err(e),
-            Err(RecvTimeoutError::Timeout) => continue,
-            Err(RecvTimeoutError::Disconnected) => return Ok(()),
+            Ok(Pump::Io(Err(e))) => return Err(e),
+            Ok(Pump::Wake) => continue,
+            Ok(Pump::Eof) | Err(_) => return Ok(()),
         }
     }
 }
@@ -229,5 +305,57 @@ mod tests {
             Some(LineEvent::Line(s)) => assert_eq!(s.len(), MAX_LINE_BYTES),
             other => panic!("expected a line, got {other:?}"),
         }
+    }
+
+    /// A reader whose `read` blocks forever (until its channel is
+    /// dropped) — models an idle client connection.
+    struct BlockedReader(std::sync::mpsc::Receiver<u8>);
+
+    impl std::io::Read for BlockedReader {
+        fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+            // Blocks until the sender drops, then reports EOF.
+            let _ = self.0.recv();
+            Ok(0)
+        }
+    }
+
+    #[test]
+    fn shutdown_request_wakes_a_blocked_serve_loop() {
+        use std::sync::Arc;
+
+        let (hold_tx, hold_rx) = mpsc::channel::<u8>();
+        let reader = std::io::BufReader::new(BlockedReader(hold_rx));
+        let shutdown = Arc::new(Shutdown::new());
+        let signal = Arc::clone(&shutdown);
+        // Request shutdown from another thread shortly after the loop
+        // blocks. The loop has no data and the reader never returns, so
+        // serve_graceful returning at all proves the wake is
+        // event-driven, not a poll.
+        let requester = thread::spawn(move || {
+            thread::sleep(std::time::Duration::from_millis(20));
+            signal.request();
+        });
+        let mut server = Server::new();
+        let mut out = Vec::new();
+        serve_graceful(reader, &mut out, &mut server, &shutdown).unwrap();
+        requester.join().unwrap();
+        assert!(shutdown.is_requested());
+        assert!(out.is_empty());
+        drop(hold_tx);
+    }
+
+    #[test]
+    fn request_before_serve_returns_immediately() {
+        let shutdown = Shutdown::new();
+        shutdown.request();
+        shutdown.request(); // idempotent
+        let mut server = Server::new();
+        let mut out = Vec::new();
+        // Flag was already up: the loop drains (nothing) and returns
+        // without ever blocking on the reader.
+        let (_hold_tx, hold_rx) = mpsc::channel::<u8>();
+        let reader = std::io::BufReader::new(BlockedReader(hold_rx));
+        serve_graceful(reader, &mut out, &mut server, &shutdown).unwrap();
+        assert!(out.is_empty());
     }
 }

@@ -98,6 +98,10 @@ pub enum ErrorCode {
     /// count, node count). Close sessions, or rerun bcountd with higher
     /// limits.
     ResourceLimit,
+    /// The daemon itself failed while handling the request — e.g. a
+    /// write-ahead journal append or fsync error under `--state-dir`.
+    /// The request did not commit; retry after fixing the environment.
+    Internal,
 }
 
 impl ErrorCode {
@@ -111,6 +115,7 @@ impl ErrorCode {
             ErrorCode::BadSpec => "bad-spec",
             ErrorCode::SessionPoisoned => "session-poisoned",
             ErrorCode::ResourceLimit => "resource-limit",
+            ErrorCode::Internal => "internal-error",
         }
     }
 }
@@ -131,6 +136,7 @@ impl FromJson for ErrorCode {
             Some("bad-spec") => Ok(ErrorCode::BadSpec),
             Some("session-poisoned") => Ok(ErrorCode::SessionPoisoned),
             Some("resource-limit") => Ok(ErrorCode::ResourceLimit),
+            Some("internal-error") => Ok(ErrorCode::Internal),
             Some(other) => Err(JsonError::Shape(format!("unknown error code '{other}'"))),
             None => Err(JsonError::Shape("expected error-code string".into())),
         }

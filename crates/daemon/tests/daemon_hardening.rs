@@ -5,11 +5,10 @@
 //! shutdown.
 
 use std::io::Cursor;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use bcount_daemon::server::ServerLimits;
-use bcount_daemon::{serve, serve_graceful, Server};
+use bcount_daemon::{serve, serve_graceful, Server, Shutdown};
 use bcount_json::Json;
 
 /// Parses a response line, asserts the schema tag, returns the `result`.
@@ -335,10 +334,10 @@ fn committed_chaos_transcript_is_golden() {
 #[test]
 fn graceful_shutdown_drains_and_replies() {
     let mut server = frozen();
-    let shutdown = Arc::new(AtomicBool::new(false));
-    // Flag raised before the loop even starts: everything already in the
-    // input must still be answered (the drain path).
-    shutdown.store(true, Ordering::SeqCst);
+    let shutdown = Arc::new(Shutdown::new());
+    // Shutdown requested before the loop even starts: everything already
+    // in the input must still be answered (the drain path).
+    shutdown.request();
     let input = b"{\"id\":1,\"method\":\"session.list\"}\n{\"id\":2,\"method\":\"session.list\"}\n"
         .to_vec();
     let mut out = Vec::new();
@@ -351,11 +350,50 @@ fn graceful_shutdown_drains_and_replies() {
     for line in out.lines() {
         result(line);
     }
-    let shutdown2 = AtomicBool::new(false);
+    let shutdown2 = Shutdown::new();
     let input2 = b"{\"id\":1,\"method\":\"session.list\"}\n".to_vec();
     let mut out2 = Vec::new();
     serve_graceful(Cursor::new(input2), &mut out2, &mut server, &shutdown2).unwrap();
     let out2 = String::from_utf8(out2).unwrap();
     assert_eq!(out2.lines().count(), 1);
     result(out2.lines().next().unwrap());
+}
+
+/// `daemon.info` answers capability probes: protocol tag, feature list,
+/// limits, session count, and (for a non-durable server) null journal
+/// and recovery sections.
+#[test]
+fn daemon_info_reports_capabilities() {
+    let mut server = Server::frozen(ServerLimits {
+        max_sessions: 7,
+        ..ServerLimits::default()
+    });
+    let info = result(&server.handle_line(r#"{"id":1,"method":"daemon.info"}"#));
+    assert_eq!(
+        info.get("protocol").and_then(Json::as_str),
+        Some("bcountd/v1")
+    );
+    let features: Vec<&str> = info
+        .get("features")
+        .and_then(Json::as_arr)
+        .expect("features array")
+        .iter()
+        .filter_map(Json::as_str)
+        .collect();
+    assert!(features.contains(&"sessions") && features.contains(&"fault-injection"));
+    assert!(
+        !features.contains(&"durability"),
+        "non-durable server must not advertise durability: {features:?}"
+    );
+    let limits = info.get("limits").expect("limits object");
+    assert_eq!(get_u64(limits, "max_sessions"), 7);
+    assert_eq!(get_u64(&info, "sessions"), 0);
+    assert_eq!(info.get("journal"), Some(&Json::Null));
+    assert_eq!(info.get("recovery"), Some(&Json::Null));
+
+    result(&server.handle_line(
+        r#"{"id":2,"method":"session.create","params":{"n":16,"protocol":"geometric-max","budget":4}}"#,
+    ));
+    let info = result(&server.handle_line(r#"{"id":3,"method":"daemon.info"}"#));
+    assert_eq!(get_u64(&info, "sessions"), 1);
 }

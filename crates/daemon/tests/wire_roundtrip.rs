@@ -59,11 +59,14 @@ fn request_strategy() -> impl Strategy<Value = Request> {
 }
 
 fn error_code_strategy() -> impl Strategy<Value = ErrorCode> {
-    (0u8..5).prop_map(|k| match k {
+    (0u8..8).prop_map(|k| match k {
         0 => ErrorCode::ParseError,
         1 => ErrorCode::BadRequest,
         2 => ErrorCode::UnknownMethod,
         3 => ErrorCode::UnknownSession,
+        4 => ErrorCode::SessionPoisoned,
+        5 => ErrorCode::ResourceLimit,
+        6 => ErrorCode::Internal,
         _ => ErrorCode::BadSpec,
     })
 }
